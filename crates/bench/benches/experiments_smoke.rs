@@ -1,0 +1,67 @@
+//! Criterion smoke benchmarks of the end-to-end experiment pipeline:
+//! overlay construction and trace replay at a reduced scale. These keep
+//! `cargo bench --workspace` fast while exercising the same code paths
+//! as the full table/figure binaries (run those via
+//! `cargo run --release -p past-bench --bin <table|fig>`).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use past_sim::{ExperimentConfig, Runner};
+use past_workload::WebTraceConfig;
+
+fn bench_overlay_build(c: &mut Criterion) {
+    let trace = WebTraceConfig::default().with_unique_files(500).generate();
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    g.bench_function("overlay_build_100_nodes", |b| {
+        b.iter(|| {
+            let cfg = ExperimentConfig {
+                nodes: 100,
+                leaf_set_size: 16,
+                ..Default::default()
+            };
+            Runner::build(cfg, &trace)
+        })
+    });
+    g.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    let trace = WebTraceConfig::default()
+        .with_unique_files(2_000)
+        .generate();
+    let mut g = c.benchmark_group("experiment");
+    g.sample_size(10);
+    g.bench_function("replay_2000_inserts_60_nodes", |b| {
+        b.iter_batched(
+            || {
+                let cfg = ExperimentConfig {
+                    nodes: 60,
+                    leaf_set_size: 16,
+                    ..Default::default()
+                };
+                Runner::build(cfg, &trace)
+            },
+            |runner| runner.run(&trace),
+            BatchSize::PerIteration,
+        )
+    });
+    g.finish();
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+    g.bench_function("web_trace_50k_files", |b| {
+        b.iter(|| WebTraceConfig::default().with_unique_files(50_000).generate())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_overlay_build,
+    bench_trace_replay,
+    bench_trace_generation
+);
+criterion_main!(benches);

@@ -1,0 +1,201 @@
+//! Criterion micro-benchmarks for the building blocks: SHA-1 hashing,
+//! Schnorr signatures, identifier arithmetic, routing-table operations,
+//! leaf-set replica selection, GD-S cache operations and Reed–Solomon
+//! coding.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use past_crypto::{KeyPair, Scheme, Sha1};
+use past_erasure::ReedSolomon;
+use past_id::NodeId;
+use past_net::Addr;
+use past_pastry::{LeafSet, NodeEntry, PastryConfig, PastryState, RoutingTable};
+use past_store::{Cache, CachePolicyKind};
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sha1");
+    for size in [64usize, 1024, 65536] {
+        let data = vec![0xabu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("digest_{size}B"), |b| {
+            b.iter(|| Sha1::digest(std::hint::black_box(&data)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let schnorr = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let keyed = KeyPair::generate(Scheme::Keyed, &mut rng);
+    let msg = b"a PAST file certificate body for benchmarking";
+    c.bench_function("sign/schnorr", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        b.iter(|| schnorr.sign(std::hint::black_box(msg), &mut rng))
+    });
+    let sig = {
+        let mut rng = StdRng::seed_from_u64(3);
+        schnorr.sign(msg, &mut rng)
+    };
+    c.bench_function("verify/schnorr", |b| {
+        b.iter(|| schnorr.public().verify(std::hint::black_box(msg), &sig))
+    });
+    c.bench_function("sign/keyed", |b| {
+        let mut rng = StdRng::seed_from_u64(4);
+        b.iter(|| keyed.sign(std::hint::black_box(msg), &mut rng))
+    });
+}
+
+fn bench_id_math(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let ids: Vec<(NodeId, NodeId)> = (0..1024)
+        .map(|_| (NodeId::random(&mut rng), NodeId::random(&mut rng)))
+        .collect();
+    let mut i = 0;
+    c.bench_function("id/ring_distance", |b| {
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            let (a, k) = ids[i];
+            std::hint::black_box(a.ring_distance(k))
+        })
+    });
+    c.bench_function("id/shared_prefix_digits", |b| {
+        b.iter(|| {
+            i = (i + 1) % ids.len();
+            let (a, k) = ids[i];
+            std::hint::black_box(a.shared_prefix_digits(k, 4))
+        })
+    });
+}
+
+fn routing_state(n: usize, seed: u64) -> (PastryState, Vec<NodeId>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = PastryConfig::default();
+    let own = NodeEntry::new(NodeId::random(&mut rng), Addr(0));
+    let mut state = PastryState::new(own, &cfg);
+    for a in 1..n {
+        let entry = NodeEntry::new(NodeId::random(&mut rng), Addr(a as u32));
+        state.on_node_seen(entry, rng.gen::<f64>());
+    }
+    let keys = (0..1024).map(|_| NodeId::random(&mut rng)).collect();
+    (state, keys)
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let (state, keys) = routing_state(2250, 6);
+    let mut i = 0;
+    c.bench_function("pastry/next_hop_2250", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(state.next_hop(keys[i], false, 1.0, None))
+        })
+    });
+    c.bench_function("pastry/replica_candidates_k5", |b| {
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            std::hint::black_box(state.replica_candidates(keys[i], 5))
+        })
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("pastry/routing_table_consider", |b| {
+        let mut rt = RoutingTable::new(NodeId::random(&mut rng), 4);
+        let mut a = 0u32;
+        b.iter(|| {
+            a = a.wrapping_add(1);
+            let e = NodeEntry::new(NodeId::random(&mut rng), Addr(a));
+            rt.consider(e, (a % 100) as f64)
+        })
+    });
+    c.bench_function("pastry/leaf_set_insert", |b| {
+        let own = NodeId::random(&mut rng);
+        b.iter_batched(
+            || LeafSet::new(own, 16),
+            |mut ls| {
+                for a in 0..64u32 {
+                    ls.insert(NodeEntry::new(
+                        NodeId::from_u128((a as u128) << 90),
+                        Addr(a),
+                    ));
+                }
+                ls
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let fid = |v: u32| {
+        let mut bytes = [0u8; 20];
+        bytes[..4].copy_from_slice(&v.to_be_bytes());
+        past_id::FileId::from_bytes(bytes)
+    };
+    for kind in [CachePolicyKind::GreedyDualSize, CachePolicyKind::Lru] {
+        let label = format!("cache/{kind:?}_insert_evict");
+        c.bench_function(&label, |b| {
+            b.iter_batched(
+                || Cache::new(kind),
+                |mut cache| {
+                    // Working set twice the budget: constant evictions.
+                    for v in 0..512u32 {
+                        cache.insert(fid(v), 100, 25_600);
+                    }
+                    cache
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        let label = format!("cache/{kind:?}_probe_hit");
+        c.bench_function(&label, |b| {
+            let mut cache = Cache::new(kind);
+            for v in 0..128u32 {
+                cache.insert(fid(v), 100, u64::MAX);
+            }
+            let mut v = 0;
+            b.iter(|| {
+                v = (v + 1) % 128;
+                cache.probe(fid(v))
+            })
+        });
+    }
+}
+
+fn bench_reed_solomon(c: &mut Criterion) {
+    let rs = ReedSolomon::new(8, 4);
+    let data = vec![0x5au8; 64 * 1024];
+    let mut g = c.benchmark_group("reed_solomon");
+    g.throughput(Throughput::Bytes(data.len() as u64));
+    g.bench_function("encode_8+4_64KiB", |b| {
+        b.iter(|| rs.encode_bytes(std::hint::black_box(&data)))
+    });
+    let shards = rs.encode_bytes(&data);
+    g.bench_function("reconstruct_4_losses_64KiB", |b| {
+        b.iter_batched(
+            || {
+                let mut opt: Vec<Option<Vec<u8>>> =
+                    shards.iter().cloned().map(Some).collect();
+                opt[0] = None;
+                opt[3] = None;
+                opt[8] = None;
+                opt[11] = None;
+                opt
+            },
+            |mut opt| rs.reconstruct(&mut opt).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sha1,
+    bench_signatures,
+    bench_id_math,
+    bench_routing,
+    bench_cache,
+    bench_reed_solomon
+);
+criterion_main!(benches);

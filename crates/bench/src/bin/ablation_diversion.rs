@@ -1,0 +1,65 @@
+//! Ablation: replica diversion and file diversion toggled independently
+//! (DESIGN.md §4). The paper's baseline disables both; this sweep shows
+//! each mechanism's individual contribution to utilization and insert
+//! success.
+
+use past_bench::{print_table, storage_header, storage_row, web_trace, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    eprintln!(
+        "ablation: {} nodes, {} unique files",
+        scale.nodes,
+        trace.unique_files()
+    );
+    let variants: Vec<(&str, ExperimentConfig)> = vec![
+        (
+            "both on (paper)",
+            ExperimentConfig {
+                nodes: scale.nodes,
+                ..Default::default()
+            },
+        ),
+        (
+            "replica div. only",
+            ExperimentConfig {
+                nodes: scale.nodes,
+                max_file_diversions: 0,
+                ..Default::default()
+            },
+        ),
+        (
+            "file div. only",
+            ExperimentConfig {
+                nodes: scale.nodes,
+                t_pri: 1.0,
+                t_div: 0.0,
+                ..Default::default()
+            },
+        ),
+        (
+            "both off (baseline)",
+            ExperimentConfig {
+                nodes: scale.nodes,
+                ..Default::default()
+            }
+            .no_diversion(),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, cfg) in variants {
+        let result = Runner::build(cfg, &trace)
+            .with_progress(past_bench::progress_logger("ablation"))
+            .run(&trace);
+        eprintln!("{label}: done in {:.1}s", result.wall_seconds);
+        rows.push(storage_row(label, &result));
+    }
+    print_table(
+        "Ablation: replica diversion x file diversion",
+        &storage_header(),
+        &rows,
+    );
+    past_bench::write_csv("ablation_diversion", &storage_header(), &rows);
+}

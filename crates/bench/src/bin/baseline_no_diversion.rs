@@ -1,0 +1,33 @@
+//! §5.1 baseline: replica and file diversion disabled (t_pri = 1,
+//! t_div = 0, no re-salting).
+//!
+//! Paper reference: 51.1% of insertions fail and final utilization is
+//! only 60.8%, demonstrating the need for explicit storage management.
+
+use past_bench::{print_table, storage_header, storage_row, web_trace, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    eprintln!(
+        "baseline: {} nodes, {} unique files",
+        scale.nodes,
+        trace.unique_files()
+    );
+    let cfg = ExperimentConfig {
+        nodes: scale.nodes,
+        ..Default::default()
+    }
+    .no_diversion();
+    let result = Runner::build(cfg, &trace)
+        .with_progress(past_bench::progress_logger("baseline"))
+        .run(&trace);
+    let rows = vec![storage_row("no diversion", &result)];
+    print_table(
+        "Baseline (replica+file diversion disabled) — paper: 51.1% fail, 60.8% util",
+        &storage_header(),
+        &rows,
+    );
+    past_bench::write_csv("baseline_no_diversion", &storage_header(), &rows);
+}

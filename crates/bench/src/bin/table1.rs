@@ -1,0 +1,37 @@
+//! Table 1: the four node storage-size distributions d1–d4 (parameters
+//! and realized totals for 2250 sampled nodes).
+//!
+//! Paper reference totals: 61,009 / 61,154 / 61,493 / 59,595 MB.
+
+use past_bench::{print_table, write_csv, Scale};
+use past_workload::{CapacityDistribution, MB};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut rng = StdRng::seed_from_u64(2001);
+    let header: Vec<String> = ["Dist", "m (MB)", "sigma (MB)", "Lower", "Upper", "Total capacity (MB)"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let mut rows = Vec::new();
+    for dist in CapacityDistribution::table1() {
+        let caps = dist.sample_nodes(scale.nodes, &mut rng);
+        let total_mb: u64 = caps.iter().sum::<u64>() / MB;
+        rows.push(vec![
+            dist.name.clone(),
+            format!("{:.0}", dist.mean / MB as f64),
+            format!("{:.1}", dist.sd / MB as f64),
+            format!("{:.0}", dist.lower / MB as f64),
+            format!("{:.0}", dist.upper / MB as f64),
+            format!("{total_mb}"),
+        ]);
+    }
+    print_table(
+        &format!("Table 1: node storage-size distributions ({} nodes)", scale.nodes),
+        &header,
+        &rows,
+    );
+    write_csv("table1", &header, &rows);
+}

@@ -1,0 +1,44 @@
+//! Table 2: insert statistics and final utilization for node-capacity
+//! distributions d1–d4 × leaf-set sizes {16, 32}, with t_pri = 0.1 and
+//! t_div = 0.05 on the web-proxy workload.
+//!
+//! Paper reference values (l = 32): success 97.9–99.4%, file diversion
+//! 3.1–4.1%, replica diversion 15.0–23.3%, utilization 98.1–99.3%.
+
+use past_bench::{print_table, storage_header, storage_row, web_trace, Scale};
+use past_sim::{ExperimentConfig, Runner};
+use past_workload::CapacityDistribution;
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    eprintln!(
+        "table2: {} nodes, {} unique files ({} bytes)",
+        scale.nodes,
+        trace.unique_files(),
+        trace.total_bytes()
+    );
+    let mut rows = Vec::new();
+    for l in [16usize, 32] {
+        for dist in CapacityDistribution::table1() {
+            let label = format!("{} l={l}", dist.name);
+            let cfg = ExperimentConfig {
+                nodes: scale.nodes,
+                leaf_set_size: l,
+                capacity: dist,
+                ..Default::default()
+            };
+            let runner =
+                Runner::build(cfg, &trace).with_progress(past_bench::progress_logger("table2"));
+            let result = runner.run(&trace);
+            eprintln!("{label}: done in {:.1}s", result.wall_seconds);
+            rows.push(storage_row(&label, &result));
+        }
+    }
+    print_table(
+        "Table 2: storage distributions x leaf-set size (t_pri=0.1, t_div=0.05)",
+        &storage_header(),
+        &rows,
+    );
+    past_bench::write_csv("table2", &storage_header(), &rows);
+}

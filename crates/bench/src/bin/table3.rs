@@ -1,0 +1,38 @@
+//! Table 3: sensitivity to t_pri ∈ {0.05, 0.1, 0.2, 0.5} with
+//! t_div = 0.05 (web workload, d1, l = 32).
+//!
+//! Paper reference: success falls from 99.73% to 88.02% while
+//! utilization rises from 97.4% to 99.7% as t_pri grows.
+
+use past_bench::{print_table, storage_header, storage_row, web_trace, Scale};
+use past_sim::{ExperimentConfig, Runner};
+
+fn main() {
+    let scale = Scale::from_env();
+    let trace = web_trace(scale);
+    eprintln!(
+        "table3: {} nodes, {} unique files",
+        scale.nodes,
+        trace.unique_files()
+    );
+    let mut rows = Vec::new();
+    for t_pri in [0.5, 0.2, 0.1, 0.05] {
+        let cfg = ExperimentConfig {
+            nodes: scale.nodes,
+            t_pri,
+            t_div: 0.05,
+            ..Default::default()
+        };
+        let result = Runner::build(cfg, &trace)
+            .with_progress(past_bench::progress_logger("table3"))
+            .run(&trace);
+        eprintln!("t_pri={t_pri}: done in {:.1}s", result.wall_seconds);
+        rows.push(storage_row(&format!("t_pri={t_pri}"), &result));
+    }
+    print_table(
+        "Table 3: varying t_pri (t_div=0.05, d1, l=32)",
+        &storage_header(),
+        &rows,
+    );
+    past_bench::write_csv("table3", &storage_header(), &rows);
+}

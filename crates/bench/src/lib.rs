@@ -1,0 +1,142 @@
+//! Shared infrastructure for the table/figure regeneration binaries.
+//!
+//! Every binary accepts two environment variables so the full paper-scale
+//! runs and quick smoke runs share one code path:
+//!
+//! - `PAST_NODES` — overlay size (default 2250, the paper's setting).
+//! - `PAST_FILES` — unique files in the synthetic NLANR-like trace
+//!   (default 1,863,055, the paper's unique-URL count). When scaling
+//!   down, keep `PAST_FILES ≈ 830 × PAST_NODES`: the storage policies
+//!   respond to the files-per-node ratio (DESIGN.md §2.5). The recorded
+//!   results in EXPERIMENTS.md used `PAST_NODES=450 PAST_FILES=373000`.
+//!
+//! Results are printed as aligned tables and also written as CSV under
+//! `results/`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+
+use past_sim::{ExperimentConfig, ExperimentResult};
+use past_workload::{FsTraceConfig, Trace, WebTraceConfig};
+
+/// Scale parameters shared by all experiment binaries.
+#[derive(Clone, Copy, Debug)]
+pub struct Scale {
+    /// Number of overlay nodes.
+    pub nodes: usize,
+    /// Unique files in the trace.
+    pub files: usize,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (paper scale by default).
+    pub fn from_env() -> Scale {
+        let nodes = std::env::var("PAST_NODES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(2250);
+        let files = std::env::var("PAST_FILES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(1_863_055);
+        Scale { nodes, files }
+    }
+}
+
+/// The standard web-proxy trace for a scale (NLANR statistics).
+pub fn web_trace(scale: Scale) -> Trace {
+    WebTraceConfig::default()
+        .with_unique_files(scale.files)
+        .generate()
+}
+
+/// The filesystem trace for a scale.
+pub fn fs_trace(scale: Scale) -> Trace {
+    FsTraceConfig {
+        files: scale.files,
+        ..Default::default()
+    }
+    .generate()
+}
+
+/// The default experiment configuration at a scale.
+pub fn base_config(scale: Scale) -> ExperimentConfig {
+    ExperimentConfig {
+        nodes: scale.nodes,
+        ..Default::default()
+    }
+}
+
+/// Formats one experiment's Table 2/3/4-style row.
+pub fn storage_row(label: &str, r: &ExperimentResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.2}%", r.success_ratio() * 100.0),
+        format!("{:.2}%", (1.0 - r.success_ratio()) * 100.0),
+        format!("{:.2}%", r.file_diversion_ratio() * 100.0),
+        format!("{:.2}%", r.replica_diversion_ratio() * 100.0),
+        format!("{:.1}%", r.final_utilization() * 100.0),
+    ]
+}
+
+/// The header matching [`storage_row`].
+pub fn storage_header() -> Vec<String> {
+    ["Config", "Success", "Fail", "File div.", "Replica div.", "Util."]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
+    println!("\n== {title}");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (i, h) in header.iter().enumerate() {
+        let _ = write!(line, "{:<w$}  ", h, w = widths[i]);
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", cell, w = widths[i]);
+        }
+        println!("{line}");
+    }
+}
+
+/// Writes rows as CSV under `results/<name>.csv`.
+pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) {
+    let dir = std::path::Path::new("results");
+    let _ = std::fs::create_dir_all(dir);
+    let path = dir.join(format!("{name}.csv"));
+    let mut out = match std::fs::File::create(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+            return;
+        }
+    };
+    let _ = writeln!(out, "{}", header.join(","));
+    for row in rows {
+        let _ = writeln!(out, "{}", row.join(","));
+    }
+    println!("(wrote {})", path.display());
+}
+
+/// Progress logger for long runs.
+pub fn progress_logger(label: &'static str) -> impl FnMut(usize, usize) + 'static {
+    move |done, total| {
+        if done % 20_000 == 0 && done > 0 {
+            eprintln!("[{label}] {done}/{total} trace ops");
+        }
+    }
+}

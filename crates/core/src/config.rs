@@ -1,0 +1,87 @@
+//! PAST node configuration.
+
+use past_net::SimDuration;
+use past_store::{CachePolicyKind, StorePolicy};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a PAST node.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PastConfig {
+    /// Replication factor `k`: copies are kept on the `k` nodes with
+    /// nodeIds numerically closest to the fileId (paper default: 5,
+    /// chosen from the availability analysis of Bolosky et al.).
+    pub k: u32,
+    /// Storage-management thresholds (`t_pri`, `t_div`, cache fraction).
+    pub policy: StorePolicy,
+    /// Cache replacement policy.
+    pub cache_policy: CachePolicyKind,
+    /// Maximum number of *re-salting* retries after a failed insert
+    /// attempt (paper: 3 retries, i.e. at most 4 attempts total).
+    pub max_file_diversions: u32,
+    /// Whether storage nodes verify certificate signatures and clients
+    /// verify store receipts. Disabled in the very large trace-driven
+    /// experiments (certificates are still issued and shipped; only the
+    /// checks are skipped).
+    pub verify_certificates: bool,
+    /// Client-side per-attempt timeout for insert/lookup/reclaim. Zero
+    /// disables timeouts (static experiments never need them and the
+    /// event queue drains faster without timer events).
+    pub client_timeout: SimDuration,
+    /// Period of the background migration sweep that gradually moves
+    /// diverted/pointed-to files onto their responsible nodes after node
+    /// arrivals (§3.5). Zero disables migration.
+    pub migration_period: SimDuration,
+    /// Maximum files migrated per sweep.
+    pub migration_batch: usize,
+}
+
+impl Default for PastConfig {
+    fn default() -> Self {
+        PastConfig {
+            k: 5,
+            policy: StorePolicy::default(),
+            cache_policy: CachePolicyKind::GreedyDualSize,
+            max_file_diversions: 3,
+            verify_certificates: false,
+            client_timeout: SimDuration::ZERO,
+            migration_period: SimDuration::ZERO,
+            migration_batch: 4,
+        }
+    }
+}
+
+impl PastConfig {
+    /// Validates parameter consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero.
+    pub fn validate(&self) {
+        assert!(self.k >= 1, "replication factor must be at least 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper() {
+        let c = PastConfig::default();
+        c.validate();
+        assert_eq!(c.k, 5);
+        assert_eq!(c.max_file_diversions, 3);
+        assert!((c.policy.t_pri - 0.1).abs() < 1e-12);
+        assert!((c.policy.t_div - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        PastConfig {
+            k: 0,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

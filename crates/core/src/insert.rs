@@ -1,0 +1,520 @@
+//! The insert path: coordination, replica storage, replica diversion
+//! (§3.3) and file diversion (§3.4).
+
+use past_crypto::{FileCertificate, StoreReceipt};
+use past_id::FileId;
+use past_pastry::NodeEntry;
+
+use crate::events::PastEvent;
+use crate::messages::{MsgKind, ReqId};
+use crate::node::{InsertCoord, PCtx, PastNode, PendingDiversion, PendingOp};
+
+impl PastNode {
+    /// Coordinates an insert at the first among-k node the request
+    /// reaches: store locally, fan the request out to the other k−1
+    /// replica holders, and collect receipts.
+    pub(crate) fn coordinate_insert(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        cert: FileCertificate,
+    ) {
+        let file_id = cert.file_id;
+        // Certificate verification by the first storage node ("that node
+        // verifies the file certificate ... If everything checks out").
+        if self.cfg.verify_certificates && cert.verify(None).is_err() {
+            self.send_to(
+                ctx,
+                req.client,
+                MsgKind::InsertReply {
+                    req,
+                    file_id,
+                    receipts: Vec::new(),
+                    expected: self.cfg.k,
+                    ok: false,
+                },
+            );
+            return;
+        }
+        // Rare fileId collisions are detected and lead to the rejection
+        // of the later-inserted file.
+        if self.store.holds_replica(file_id) || self.coords.contains_key(&req.key()) {
+            self.send_to(
+                ctx,
+                req.client,
+                MsgKind::InsertReply {
+                    req,
+                    file_id,
+                    receipts: Vec::new(),
+                    expected: self.cfg.k,
+                    ok: false,
+                },
+            );
+            return;
+        }
+        let candidates = ctx.replica_candidates(file_id.as_key(), self.cfg.k as usize);
+        let own = ctx.own();
+        self.coords.insert(
+            req.key(),
+            InsertCoord {
+                expected: candidates.clone(),
+                receipts: Vec::new(),
+                stored: Vec::new(),
+            },
+        );
+        for node in candidates {
+            if node.id == own.id {
+                self.attempt_store(ctx, Some(req), cert.clone(), Some(own));
+            } else {
+                self.send_to(
+                    ctx,
+                    node,
+                    MsgKind::Replicate {
+                        req,
+                        cert: cert.clone(),
+                        coordinator: own,
+                    },
+                );
+            }
+        }
+    }
+
+    /// One of the k replica holders attempts to store the file: locally
+    /// first, then via replica diversion. `coordinator` is `None` during
+    /// §3.5 maintenance re-replication (no receipts flow then).
+    pub(crate) fn attempt_store(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: Option<ReqId>,
+        cert: FileCertificate,
+        coordinator: Option<NodeEntry>,
+    ) {
+        let file_id = cert.file_id;
+        if self.cfg.verify_certificates && cert.verify(None).is_err() {
+            if let (Some(req), Some(coord)) = (req, coordinator) {
+                self.report_store_result(ctx, req, file_id, None, coord);
+            }
+            return;
+        }
+        if self.store.holds_replica(file_id) {
+            // Already stored (duplicate replicate): report as stored.
+            if let (Some(req), Some(coord)) = (req, coordinator) {
+                let receipt = self.issue_receipt(ctx, file_id, false);
+                self.report_store_result(ctx, req, file_id, Some(receipt), coord);
+            }
+            return;
+        }
+        match self.store.store_primary(cert.clone()) {
+            Ok(()) => {
+                ctx.emit(PastEvent::ReplicaStored {
+                    file_id,
+                    size: cert.file_size,
+                    diverted: false,
+                });
+                if let (Some(req), Some(coord)) = (req, coordinator) {
+                    let receipt = self.issue_receipt(ctx, file_id, false);
+                    self.report_store_result(ctx, req, file_id, Some(receipt), coord);
+                }
+            }
+            Err(_) => {
+                // Replica diversion: ask a leaf-set node outside the k
+                // closest, preferring maximal remaining free space.
+                match self.pick_diversion_target(ctx, file_id) {
+                    Some(target) => {
+                        self.diversions.insert(
+                            file_id,
+                            PendingDiversion {
+                                req,
+                                cert: cert.clone(),
+                                coordinator,
+                            },
+                        );
+                        let own = ctx.own();
+                        self.send_to(
+                            ctx,
+                            target,
+                            MsgKind::Divert {
+                                req,
+                                cert,
+                                requester: own,
+                            },
+                        );
+                    }
+                    None => {
+                        if let (Some(req), Some(coord)) = (req, coordinator) {
+                            self.report_store_result(ctx, req, file_id, None, coord);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Chooses node B for a diverted replica: in the leaf set, not among
+    /// the k closest to the fileId, not already holding the file, with
+    /// maximal known remaining free space. Nodes with unknown free space
+    /// are tried optimistically. Different replica holders de-collide by
+    /// offsetting their pick with their rank in the replica set.
+    pub(crate) fn pick_diversion_target(
+        &self,
+        ctx: &mut PCtx<'_, '_>,
+        file_id: FileId,
+    ) -> Option<NodeEntry> {
+        let key = file_id.as_key();
+        let candidates = ctx.replica_candidates(key, self.cfg.k as usize);
+        let own = ctx.own();
+        let mut eligible: Vec<NodeEntry> = ctx
+            .pastry()
+            .leaf_set()
+            .members()
+            .filter(|m| !candidates.iter().any(|c| c.id == m.id))
+            .copied()
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        // Sort by known free space, descending; unknown is optimistic.
+        eligible.sort_by_key(|m| {
+            std::cmp::Reverse(self.free_info.get(&m.id).copied().unwrap_or(u64::MAX))
+        });
+        let rank = candidates
+            .iter()
+            .position(|c| c.id == own.id)
+            .unwrap_or(0);
+        Some(eligible[rank % eligible.len()])
+    }
+
+    /// Node B receives a diversion request: apply the `t_div` acceptance
+    /// policy and answer.
+    pub(crate) fn on_divert_request(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: Option<ReqId>,
+        cert: FileCertificate,
+        requester: NodeEntry,
+    ) {
+        let file_id = cert.file_id;
+        let size = cert.file_size;
+        let accepted = if self.cfg.verify_certificates && cert.verify(None).is_err() {
+            false
+        } else {
+            self.store.store_diverted(cert, requester).is_ok()
+        };
+        if accepted {
+            ctx.emit(PastEvent::ReplicaStored {
+                file_id,
+                size,
+                diverted: true,
+            });
+        }
+        let own = ctx.own();
+        self.send_to(
+            ctx,
+            requester,
+            MsgKind::DivertResult {
+                req,
+                file_id,
+                accepted,
+                holder: own,
+            },
+        );
+    }
+
+    /// Node A receives B's answer to a diversion request.
+    pub(crate) fn on_divert_result(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        _req: Option<ReqId>,
+        file_id: FileId,
+        accepted: bool,
+        holder: NodeEntry,
+    ) {
+        let pending = match self.diversions.remove(&file_id) {
+            Some(p) => p,
+            None => return, // Stale (aborted in the meantime).
+        };
+        if accepted {
+            // Install the A→B pointer and the C→B backup pointer on the
+            // k+1-th closest node, then report success.
+            self.store.install_pointer(file_id, holder);
+            self.pointer_certs.insert(file_id, pending.cert.clone());
+            let key = file_id.as_key();
+            let own = ctx.own();
+            let kplus1 = ctx.replica_candidates(key, self.cfg.k as usize + 1);
+            if let Some(c_node) = kplus1.last().copied() {
+                if c_node.id != own.id && c_node.id != holder.id && kplus1.len() > self.cfg.k as usize
+                {
+                    self.pointer_backup_at.insert(file_id, c_node);
+                    self.send_to(
+                        ctx,
+                        c_node,
+                        MsgKind::InstallPointer {
+                            file_id,
+                            holder,
+                            backup: true,
+                            cert: pending.cert.clone(),
+                        },
+                    );
+                }
+            }
+            if let (Some(req), Some(coord)) = (pending.req, pending.coordinator) {
+                let receipt = self.issue_receipt(ctx, file_id, true);
+                self.report_store_result(ctx, req, file_id, Some(receipt), coord);
+            }
+        } else if let (Some(req), Some(coord)) = (pending.req, pending.coordinator) {
+            // "When one of the k nodes declines ... and the node it then
+            // chooses also declines, then the entire file is diverted."
+            self.report_store_result(ctx, req, file_id, None, coord);
+        }
+    }
+
+    /// Installs a pointer received from a diverting node (backup C role)
+    /// or from a displaced node during maintenance (regular A role).
+    pub(crate) fn on_install_pointer(
+        &mut self,
+        file_id: FileId,
+        holder: NodeEntry,
+        backup: bool,
+        cert: FileCertificate,
+    ) {
+        if backup {
+            self.store.install_backup_pointer(file_id, holder);
+            self.backup_certs.insert(file_id, cert);
+        } else {
+            self.store.install_pointer(file_id, holder);
+            self.pointer_certs.insert(file_id, cert);
+        }
+    }
+
+    /// Signs a store receipt for a file this node is responsible for.
+    pub(crate) fn issue_receipt(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        file_id: FileId,
+        diverted: bool,
+    ) -> StoreReceipt {
+        StoreReceipt::issue(&self.keys, file_id, diverted, ctx.now().micros(), ctx.rng())
+    }
+
+    /// Routes a store outcome to the coordinator (inline when this node
+    /// coordinates its own replica).
+    pub(crate) fn report_store_result(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        receipt: Option<StoreReceipt>,
+        coordinator: NodeEntry,
+    ) {
+        let own = ctx.own();
+        if coordinator.id == own.id {
+            self.on_replicate_result(ctx, req, file_id, receipt, own);
+        } else {
+            self.send_to(
+                ctx,
+                coordinator,
+                MsgKind::ReplicateResult {
+                    req,
+                    file_id,
+                    receipt,
+                    storer: own,
+                },
+            );
+        }
+    }
+
+    /// Coordinator handles one replica holder's outcome.
+    pub(crate) fn on_replicate_result(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        receipt: Option<StoreReceipt>,
+        storer: NodeEntry,
+    ) {
+        let coord = match self.coords.get_mut(&req.key()) {
+            Some(c) => c,
+            None => {
+                // The attempt was already aborted; a straggler stored a
+                // replica that must now be discarded.
+                if receipt.is_some() {
+                    self.send_discard(ctx, storer, file_id);
+                }
+                return;
+            }
+        };
+        // Per-hop retries can duplicate messages; count each storer once.
+        if coord.stored.iter().any(|s| s.id == storer.id) {
+            return;
+        }
+        match receipt {
+            Some(r) => {
+                coord.receipts.push(r);
+                coord.stored.push(storer);
+                if coord.receipts.len() == coord.expected.len() {
+                    let coord = self.coords.remove(&req.key()).expect("present");
+                    self.send_to(
+                        ctx,
+                        req.client,
+                        MsgKind::InsertReply {
+                            req,
+                            file_id,
+                            receipts: coord.receipts,
+                            expected: coord.expected.len() as u32,
+                            ok: true,
+                        },
+                    );
+                }
+            }
+            None => {
+                // Abort: discard everything stored so far, fail the
+                // attempt back to the client (file diversion follows).
+                let coord = self.coords.remove(&req.key()).expect("present");
+                ctx.emit(PastEvent::InsertAttemptAborted { file_id });
+                for node in coord.stored {
+                    self.send_discard(ctx, node, file_id);
+                }
+                self.send_to(
+                    ctx,
+                    req.client,
+                    MsgKind::InsertReply {
+                        req,
+                        file_id,
+                        receipts: Vec::new(),
+                        expected: coord.expected.len() as u32,
+                        ok: false,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Sends a discard, handling the self-addressed case inline.
+    pub(crate) fn send_discard(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry, file_id: FileId) {
+        if node.id == ctx.own().id {
+            self.on_discard(ctx, file_id);
+        } else {
+            self.send_to(ctx, node, MsgKind::Discard { file_id });
+        }
+    }
+
+    /// Drops any role this node has for `file_id` (replica, diverted
+    /// replica, pointer, backup pointer), cascading to the diverted
+    /// holder where needed.
+    pub(crate) fn on_discard(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) {
+        if let Some(replica) = self.store.remove_replica(file_id) {
+            ctx.emit(PastEvent::ReplicaDropped {
+                file_id,
+                size: replica.size(),
+                diverted: replica.diverted_from.is_some(),
+            });
+        }
+        if let Some(holder) = self.store.remove_pointer(file_id) {
+            self.pointer_certs.remove(&file_id);
+            self.send_to(ctx, holder, MsgKind::Discard { file_id });
+            if let Some(c_node) = self.pointer_backup_at.remove(&file_id) {
+                self.send_to(ctx, c_node, MsgKind::Discard { file_id });
+            }
+        }
+        if self.store.remove_backup_pointer(file_id).is_some() {
+            self.backup_certs.remove(&file_id);
+        }
+        // Pending diversion for an aborted insert: drop silently; a late
+        // DivertResult will find no pending entry and be ignored, and the
+        // B-side replica is discarded via the holder cascade above.
+        self.diversions.remove(&file_id);
+    }
+
+    /// Client receives the coordinator's verdict.
+    pub(crate) fn on_insert_reply(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        receipts: Vec<StoreReceipt>,
+        expected: u32,
+        ok: bool,
+    ) {
+        let op = match self.pending.remove(&req.seq) {
+            Some(op) => op,
+            None => return, // Already timed out or duplicate reply.
+        };
+        let (name, size, attempts, cert) = match op {
+            PendingOp::Insert {
+                name,
+                size,
+                attempts,
+                cert,
+            } => (name, size, attempts, cert),
+            other => {
+                self.pending.insert(req.seq, other);
+                return;
+            }
+        };
+        // Ignore replies for earlier (re-salted) attempts.
+        if cert.file_id != file_id {
+            self.pending.insert(
+                req.seq,
+                PendingOp::Insert {
+                    name,
+                    size,
+                    attempts,
+                    cert,
+                },
+            );
+            return;
+        }
+        let verified = !self.cfg.verify_certificates
+            || receipts.iter().all(|r| r.verify().is_ok());
+        if ok && receipts.len() as u32 == expected && verified {
+            ctx.emit(PastEvent::InsertDone {
+                seq: req.seq,
+                file_id,
+                size,
+                attempts,
+                success: true,
+            });
+        } else {
+            self.retry_or_fail_insert(ctx, req.seq, name, size, attempts, cert);
+        }
+    }
+
+    /// File diversion: re-salt and retry, up to the configured number of
+    /// retries; then report failure and refund the quota.
+    pub(crate) fn retry_or_fail_insert(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        seq: u64,
+        name: String,
+        size: u64,
+        attempts: u32,
+        old_cert: FileCertificate,
+    ) {
+        if attempts <= self.cfg.max_file_diversions {
+            let cert = self.issue_cert(ctx, &name, size, attempts + 1);
+            self.pending.insert(
+                seq,
+                PendingOp::Insert {
+                    name,
+                    size,
+                    attempts: attempts + 1,
+                    cert: cert.clone(),
+                },
+            );
+            self.route_insert(ctx, seq, cert);
+            self.arm_timeout(ctx, seq);
+        } else {
+            // Refund the quota debited at issue time.
+            let _ = self
+                .quota
+                .credit(size.saturating_mul(self.cfg.k as u64));
+            ctx.emit(PastEvent::InsertDone {
+                seq,
+                file_id: old_cert.file_id,
+                size,
+                attempts,
+                success: false,
+            });
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! The lookup path: interception at the first node storing the file,
+//! pointer indirection for diverted replicas, and response-path caching.
+
+use past_crypto::FileCertificate;
+use past_id::FileId;
+use past_pastry::NodeEntry;
+use past_store::Resolution;
+
+use crate::events::PastEvent;
+use crate::messages::{HitKind, MsgKind, ReqId};
+use crate::node::{PCtx, PastNode, PendingOp};
+
+impl PastNode {
+    /// A lookup reached the node responsible for the key without being
+    /// intercepted earlier.
+    pub(crate) fn lookup_at_responsible(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        path: Vec<NodeEntry>,
+        hops: u32,
+    ) {
+        match self.store.resolve(file_id) {
+            Resolution::Primary | Resolution::DivertedHere => {
+                self.answer_lookup(ctx, req, file_id, path, hops, HitKind::Primary);
+            }
+            Resolution::Cached => {
+                self.answer_lookup(ctx, req, file_id, path, hops, HitKind::Cached);
+            }
+            Resolution::Pointer(holder) => {
+                // One additional RPC reaches the diverted replica.
+                self.send_to(
+                    ctx,
+                    holder,
+                    MsgKind::FetchDiverted {
+                        req,
+                        file_id,
+                        hops,
+                        path,
+                    },
+                );
+            }
+            Resolution::Miss => {
+                self.send_to(ctx, req.client, MsgKind::LookupMiss { req, file_id });
+            }
+        }
+    }
+
+    /// Replies to a lookup from this node's copy of the file, sending the
+    /// response back along the request path so intermediate nodes can
+    /// cache it.
+    pub(crate) fn answer_lookup(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        path: Vec<NodeEntry>,
+        hops: u32,
+        kind: HitKind,
+    ) {
+        let cert = match self.certificate_for(file_id) {
+            Some(c) => c,
+            None => {
+                self.send_to(ctx, req.client, MsgKind::LookupMiss { req, file_id });
+                return;
+            }
+        };
+        // Response retraces the request path (closest forwarder first),
+        // ending at the client.
+        let mut reverse: Vec<NodeEntry> = path.into_iter().rev().collect();
+        reverse.push(req.client);
+        self.forward_hit(ctx, req, cert, hops, kind, reverse);
+    }
+
+    /// Sends a hit to the next node on the reverse path (or completes the
+    /// operation when this node *is* the client).
+    pub(crate) fn forward_hit(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        cert: FileCertificate,
+        hops: u32,
+        kind: HitKind,
+        mut reverse_path: Vec<NodeEntry>,
+    ) {
+        // Skip self-entries (the responder may be on the recorded path).
+        let own = ctx.own();
+        while let Some(first) = reverse_path.first() {
+            if first.id == own.id {
+                reverse_path.remove(0);
+            } else {
+                break;
+            }
+        }
+        match reverse_path.first().copied() {
+            Some(next) => {
+                let rest = reverse_path[1..].to_vec();
+                self.send_to(
+                    ctx,
+                    next,
+                    MsgKind::LookupHit {
+                        req,
+                        cert,
+                        hops,
+                        kind,
+                        reverse_path: rest,
+                    },
+                );
+            }
+            None => {
+                // The path is exhausted: this node must be the client.
+                debug_assert_eq!(req.client.id, own.id);
+                self.complete_lookup(ctx, req, cert, hops, kind);
+            }
+        }
+    }
+
+    /// A hit traveling back toward the client passes through this node:
+    /// cache it (§4) and forward.
+    pub(crate) fn on_lookup_hit(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        cert: FileCertificate,
+        hops: u32,
+        kind: HitKind,
+        reverse_path: Vec<NodeEntry>,
+    ) {
+        self.store.cache_file(&cert);
+        if req.client.id == ctx.own().id && reverse_path.is_empty() {
+            self.complete_lookup(ctx, req, cert, hops, kind);
+        } else {
+            self.forward_hit(ctx, req, cert, hops, kind, reverse_path);
+        }
+    }
+
+    /// Completes a pending client lookup.
+    pub(crate) fn complete_lookup(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        cert: FileCertificate,
+        hops: u32,
+        kind: HitKind,
+    ) {
+        match self.pending.remove(&req.seq) {
+            Some(PendingOp::Lookup { file_id }) => {
+                debug_assert_eq!(file_id, cert.file_id);
+                ctx.emit(PastEvent::LookupDone {
+                    seq: req.seq,
+                    file_id,
+                    found: true,
+                    hops,
+                    kind: Some(kind),
+                });
+            }
+            Some(other) => {
+                self.pending.insert(req.seq, other);
+            }
+            None => {} // Timed out already.
+        }
+    }
+
+    /// Client receives a definitive miss.
+    pub(crate) fn on_lookup_miss(&mut self, ctx: &mut PCtx<'_, '_>, req: ReqId, file_id: FileId) {
+        match self.pending.remove(&req.seq) {
+            Some(PendingOp::Lookup { .. }) => {
+                ctx.emit(PastEvent::LookupDone {
+                    seq: req.seq,
+                    file_id,
+                    found: false,
+                    hops: 0,
+                    kind: None,
+                });
+            }
+            Some(other) => {
+                self.pending.insert(req.seq, other);
+            }
+            None => {}
+        }
+    }
+
+    /// Node B (diverted-replica holder) answers a pointer-indirected
+    /// lookup; the extra A→B RPC counts as one more hop.
+    pub(crate) fn on_fetch_diverted(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        hops: u32,
+        path: Vec<NodeEntry>,
+    ) {
+        if self.store.holds_replica(file_id) {
+            self.answer_lookup(ctx, req, file_id, path, hops + 1, HitKind::Diverted);
+        } else {
+            // Stale pointer (replica discarded or migrated away).
+            self.send_to(ctx, req.client, MsgKind::LookupMiss { req, file_id });
+        }
+    }
+
+    /// Returns the certificate for a file this node can serve (replica,
+    /// cache registry is certificate-less, so cached files are served
+    /// from the pointer/backup certificate registries or the replica
+    /// store).
+    pub(crate) fn certificate_for(&self, file_id: FileId) -> Option<FileCertificate> {
+        if let Some(r) = self.store.replica(file_id) {
+            return Some(r.cert.clone());
+        }
+        if let Some(c) = self.store.cached_cert(file_id) {
+            return Some(c.clone());
+        }
+        if let Some(c) = self.pointer_certs.get(&file_id) {
+            return Some(c.clone());
+        }
+        self.backup_certs.get(&file_id).cloned()
+    }
+}

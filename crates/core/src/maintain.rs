@@ -1,0 +1,213 @@
+//! Replica maintenance (§3.5): keeping k copies per file as nodes join,
+//! fail and recover, and gradually migrating files to their responsible
+//! nodes in the background.
+
+use past_crypto::FileCertificate;
+use past_id::FileId;
+use past_pastry::NodeEntry;
+
+use crate::events::PastEvent;
+use crate::messages::MsgKind;
+use crate::node::{PCtx, PastNode};
+
+impl PastNode {
+    /// A node entered this node's leaf set. For every primary replica
+    /// whose replica set now includes the newcomer *instead of* this
+    /// node, install a pointer on the newcomer (semantically a replica
+    /// diversion, per §3.5) so responsibility transfers immediately while
+    /// the data migrates lazily.
+    pub(crate) fn handle_neighbor_added(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry) {
+        let own = ctx.own();
+        let k = self.cfg.k as usize;
+        let displaced: Vec<(FileId, FileCertificate)> = self
+            .store
+            .primaries()
+            .filter_map(|(id, replica)| {
+                let candidates = ctx.replica_candidates(id.as_key(), k);
+                let newcomer_in = candidates.iter().any(|c| c.id == node.id);
+                let self_out = !candidates.iter().any(|c| c.id == own.id);
+                if newcomer_in && self_out {
+                    Some((*id, replica.cert.clone()))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (file_id, cert) in displaced {
+            // "The joining node may install a pointer in its file table,
+            // referring to the node that has just ceased to be one of the
+            // k numerically closest, and requiring that node to keep the
+            // replica."
+            self.send_to(
+                ctx,
+                node,
+                MsgKind::InstallPointer {
+                    file_id,
+                    holder: own,
+                    backup: false,
+                    cert,
+                },
+            );
+        }
+    }
+
+    /// A node left this node's leaf set (presumed failed). Restore the
+    /// storage invariant for every file this node shares responsibility
+    /// for, and repair diversion pointers that referenced the failed
+    /// node.
+    pub(crate) fn handle_neighbor_removed(&mut self, ctx: &mut PCtx<'_, '_>, failed: NodeEntry) {
+        let own = ctx.own();
+        let k = self.cfg.k as usize;
+        // (a) Primary replicas: if the failed node was in the replica set
+        // and this node is the set's closest member, ship a copy to the
+        // node that newly completes the set.
+        let mut to_restore: Vec<(NodeEntry, FileCertificate)> = Vec::new();
+        for (id, replica) in self.store.primaries() {
+            let key = id.as_key();
+            let candidates = ctx.replica_candidates(key, k);
+            if candidates.is_empty() {
+                continue;
+            }
+            // Was the failed node responsible? Compare its distance to
+            // the current farthest candidate.
+            let farthest = candidates.last().expect("non-empty");
+            let failed_was_in =
+                failed.id.ring_distance(key) <= farthest.id.ring_distance(key);
+            let i_am_closest = candidates[0].id == own.id;
+            if failed_was_in && i_am_closest {
+                let newcomer = *farthest;
+                if newcomer.id != own.id {
+                    to_restore.push((newcomer, replica.cert.clone()));
+                }
+            }
+        }
+        for (node, cert) in to_restore {
+            self.send_to(ctx, node, MsgKind::ReplicaTransfer { cert });
+        }
+        // (b) A→B pointers whose holder B failed: the diverted replica is
+        // lost; re-create it (locally if possible, else divert again).
+        let lost: Vec<(FileId, FileCertificate)> = self
+            .store
+            .pointers()
+            .filter(|(_, holder)| holder.id == failed.id)
+            .map(|(id, _)| (*id, self.pointer_certs[id].clone()))
+            .collect();
+        for (file_id, cert) in lost {
+            self.store.remove_pointer(file_id);
+            self.pointer_certs.remove(&file_id);
+            if let Some(c_node) = self.pointer_backup_at.remove(&file_id) {
+                self.send_to(ctx, c_node, MsgKind::Discard { file_id });
+            }
+            // Re-create the replica: §3.3's machinery is reused with no
+            // coordinator (no receipts at maintenance time).
+            self.attempt_store(ctx, None, cert, None);
+        }
+        // (c) Backup pointers installed by a failed diverting node A:
+        // promote them to regular pointers so the diverted replica at B
+        // stays reachable from this (responsible) node.
+        let promoted: Vec<(FileId, NodeEntry)> = self
+            .store
+            .backup_pointers()
+            .filter(|(id, _)| {
+                // Promote only when A failed; we approximate "A failed"
+                // by checking whether we now lack any pointer for a file
+                // whose backup we hold and whose responsible set includes
+                // us. Conservatively promote on any neighbor failure when
+                // we are among the k closest.
+                let key = id.as_key();
+                ctx.is_among_k_closest(key, k + 1)
+            })
+            .map(|(id, holder)| (*id, *holder))
+            .collect();
+        let _ = failed;
+        for (file_id, holder) in promoted {
+            if self.store.remove_backup_pointer(file_id).is_some() {
+                if let Some(cert) = self.backup_certs.remove(&file_id) {
+                    self.store.install_pointer(file_id, holder);
+                    self.pointer_certs.insert(file_id, cert);
+                }
+            }
+        }
+    }
+
+    /// A replica holder receives a request for a file's content (a newly
+    /// responsible node pulling its copy).
+    pub(crate) fn on_fetch_replica(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        from: NodeEntry,
+        file_id: FileId,
+    ) {
+        if let Some(replica) = self.store.replica(file_id) {
+            let cert = replica.cert.clone();
+            self.send_to(ctx, from, MsgKind::ReplicaTransfer { cert });
+        }
+    }
+
+    /// A file arrives for this node to store as part of maintenance
+    /// (failure recovery or migration). Stored with the §3.5 overflow
+    /// handling: locally, else diverted, else dropped (replication
+    /// temporarily below k).
+    pub(crate) fn on_replica_transfer(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        from: NodeEntry,
+        cert: FileCertificate,
+    ) {
+        let file_id = cert.file_id;
+        if self.store.holds_replica(file_id) {
+            return;
+        }
+        let size = cert.file_size;
+        if self.store.store_primary(cert.clone()).is_ok() {
+            ctx.emit(PastEvent::ReplicaStored {
+                file_id,
+                size,
+                diverted: false,
+            });
+            // If this transfer completed a migration, the old holder may
+            // now drop its copy.
+            self.store.remove_pointer(file_id);
+            self.pointer_certs.remove(&file_id);
+            self.send_to(ctx, from, MsgKind::MigrationDone { file_id });
+        } else {
+            // Reuse replica diversion with no coordinator.
+            self.attempt_store(ctx, None, cert, None);
+        }
+    }
+
+    /// The old holder learns a migration completed: drop the replica if
+    /// this node is no longer among the file's k closest.
+    pub(crate) fn on_migration_done(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) {
+        let k = self.cfg.k as usize;
+        if ctx.is_among_k_closest(file_id.as_key(), k) {
+            return; // Still responsible: keep the copy.
+        }
+        if let Some(replica) = self.store.remove_replica(file_id) {
+            ctx.emit(PastEvent::ReplicaDropped {
+                file_id,
+                size: replica.size(),
+                diverted: replica.diverted_from.is_some(),
+            });
+        }
+    }
+
+    /// Background migration sweep (§3.5: "the affected files can then be
+    /// gradually migrated ... as part of a background operation"): pull
+    /// up to `migration_batch` pointed-to files whose replica lives on a
+    /// node outside this node's leaf set or that this node should own.
+    pub(crate) fn migration_sweep(&mut self, ctx: &mut PCtx<'_, '_>) {
+        let batch: Vec<(FileId, NodeEntry)> = self
+            .store
+            .pointers()
+            .take(self.cfg.migration_batch)
+            .map(|(id, holder)| (*id, *holder))
+            .collect();
+        for (file_id, holder) in batch {
+            // Only migrate files this node should hold itself.
+            if ctx.is_among_k_closest(file_id.as_key(), self.cfg.k as usize) {
+                self.send_to(ctx, holder, MsgKind::FetchReplica { file_id });
+            }
+        }
+    }
+}

@@ -1,0 +1,239 @@
+//! PAST wire messages (carried as the Pastry application payload).
+
+use past_crypto::{FileCertificate, ReclaimCertificate, StoreReceipt};
+use past_id::{FileId, NodeId};
+use past_pastry::NodeEntry;
+
+/// Identifies a client operation: the issuing node plus a local sequence
+/// number. Replies are sent directly to `client.addr`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReqId {
+    /// The client node that issued the operation.
+    pub client: NodeEntry,
+    /// Client-local sequence number.
+    pub seq: u64,
+}
+
+impl ReqId {
+    /// Hashable key form.
+    pub fn key(&self) -> (NodeId, u64) {
+        (self.client.id, self.seq)
+    }
+}
+
+/// How a lookup was satisfied (for the caching experiments).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HitKind {
+    /// Served from a primary replica.
+    Primary,
+    /// Served from a diverted replica (one extra hop through the pointer).
+    Diverted,
+    /// Served from a node's disk cache.
+    Cached,
+}
+
+/// A PAST message. Every message piggybacks the sender's current free
+/// space, which feeds the diversion-target selection policy ("choose the
+/// node with maximal remaining free space").
+#[derive(Clone, Debug)]
+pub struct PastMsg {
+    /// Sender's free bytes at send time.
+    pub free: u64,
+    /// The payload.
+    pub kind: MsgKind,
+}
+
+/// PAST message bodies.
+#[derive(Clone, Debug)]
+pub enum MsgKind {
+    /// Routed toward the fileId: an insert request carrying the file
+    /// certificate (the file content travels with it).
+    Insert {
+        /// Operation id.
+        req: ReqId,
+        /// Signed file certificate.
+        cert: FileCertificate,
+    },
+    /// Routed toward the fileId: a lookup request. `path` accumulates the
+    /// nodes traversed so the response can retrace it (populating caches).
+    Lookup {
+        /// Operation id.
+        req: ReqId,
+        /// Requested file.
+        file_id: FileId,
+        /// Nodes traversed so far (client excluded).
+        path: Vec<NodeEntry>,
+    },
+    /// Routed toward the fileId: a reclaim request.
+    Reclaim {
+        /// Operation id.
+        req: ReqId,
+        /// Signed reclaim certificate.
+        cert: ReclaimCertificate,
+    },
+    /// Coordinator → the other k−1 replica holders: store a replica.
+    Replicate {
+        /// Operation id.
+        req: ReqId,
+        /// The file certificate.
+        cert: FileCertificate,
+        /// The coordinating node (receives the result).
+        coordinator: NodeEntry,
+    },
+    /// Replica holder → coordinator: outcome of a store attempt
+    /// (`receipt` is `None` when both the local store and the diversion
+    /// attempt failed).
+    ReplicateResult {
+        /// Operation id.
+        req: ReqId,
+        /// File concerned.
+        file_id: FileId,
+        /// Signed store receipt on success.
+        receipt: Option<StoreReceipt>,
+        /// The node reporting.
+        storer: NodeEntry,
+    },
+    /// Node A → node B: hold a diverted replica on A's behalf (§3.3).
+    Divert {
+        /// Insert operation id (`None` during §3.5 maintenance).
+        req: Option<ReqId>,
+        /// The file certificate.
+        cert: FileCertificate,
+        /// The diverting node A.
+        requester: NodeEntry,
+    },
+    /// B → A: diversion outcome.
+    DivertResult {
+        /// Insert operation id (`None` during maintenance).
+        req: Option<ReqId>,
+        /// File concerned.
+        file_id: FileId,
+        /// Whether B accepted the replica.
+        accepted: bool,
+        /// The answering node B.
+        holder: NodeEntry,
+    },
+    /// Install a diversion pointer: `holder` stores the replica. With
+    /// `backup`, this is the C→B pointer placed on the k+1-th closest
+    /// node to guard against A's failure.
+    InstallPointer {
+        /// File concerned.
+        file_id: FileId,
+        /// The replica holder (B).
+        holder: NodeEntry,
+        /// Whether this is the backup (C) pointer.
+        backup: bool,
+        /// Certificate, kept so the pointer owner can re-create the
+        /// replica if the holder fails.
+        cert: FileCertificate,
+    },
+    /// Drop a replica/pointer for `file_id` (insert abort or reclaim).
+    Discard {
+        /// File concerned.
+        file_id: FileId,
+    },
+    /// Coordinator → client: insert outcome.
+    InsertReply {
+        /// Operation id.
+        req: ReqId,
+        /// File concerned.
+        file_id: FileId,
+        /// Store receipts from each replica holder.
+        receipts: Vec<StoreReceipt>,
+        /// Number of replicas the coordinator aimed for.
+        expected: u32,
+        /// Overall success.
+        ok: bool,
+    },
+    /// A node that found the file answers back along the request path;
+    /// each node on `reverse_path` caches the file and forwards.
+    LookupHit {
+        /// Operation id.
+        req: ReqId,
+        /// Certificate (stands in for the file content).
+        cert: FileCertificate,
+        /// Pastry hops the request took until the hit.
+        hops: u32,
+        /// What kind of copy answered.
+        kind: HitKind,
+        /// Remaining nodes to traverse; the client is last.
+        reverse_path: Vec<NodeEntry>,
+    },
+    /// The responsible node does not have the file.
+    LookupMiss {
+        /// Operation id.
+        req: ReqId,
+        /// File concerned.
+        file_id: FileId,
+    },
+    /// A (pointer owner) → B (replica holder): answer this lookup.
+    FetchDiverted {
+        /// Operation id.
+        req: ReqId,
+        /// File concerned.
+        file_id: FileId,
+        /// Hops the request had taken when it hit the pointer (the extra
+        /// A→B hop is added by B).
+        hops: u32,
+        /// Request path for the response to retrace.
+        path: Vec<NodeEntry>,
+    },
+    /// Coordinator → replica holders: execute a verified reclaim.
+    ReclaimExec {
+        /// The reclaim certificate (re-verified by each holder).
+        cert: ReclaimCertificate,
+    },
+    /// Coordinator → client: reclaim outcome (weak semantics — the
+    /// coordinator replies once the reclaim is dispatched).
+    ReclaimReply {
+        /// Operation id.
+        req: ReqId,
+        /// File concerned.
+        file_id: FileId,
+        /// Whether a responsible node processed the reclaim.
+        ok: bool,
+        /// Bytes whose reclamation was initiated (size × replicas), for
+        /// the client's quota credit.
+        freed: u64,
+    },
+    /// New responsible node → replica holder: send me the file (§3.5
+    /// migration and failure recovery).
+    FetchReplica {
+        /// File concerned.
+        file_id: FileId,
+    },
+    /// Replica holder → new responsible node: the file (as its
+    /// certificate).
+    ReplicaTransfer {
+        /// The file certificate.
+        cert: FileCertificate,
+    },
+    /// New responsible node → old holder: migration complete, you may
+    /// drop your copy if no longer responsible.
+    MigrationDone {
+        /// File concerned.
+        file_id: FileId,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use past_net::Addr;
+
+    #[test]
+    fn req_id_key_distinguishes_clients_and_seqs() {
+        let a = ReqId {
+            client: NodeEntry::new(NodeId::from_u128(1), Addr(1)),
+            seq: 9,
+        };
+        let b = ReqId {
+            client: NodeEntry::new(NodeId::from_u128(2), Addr(2)),
+            seq: 9,
+        };
+        assert_ne!(a.key(), b.key());
+        let c = ReqId { seq: 10, ..a };
+        assert_ne!(a.key(), c.key());
+        assert_eq!(a.key(), a.key());
+    }
+}

@@ -1,0 +1,562 @@
+//! The PAST node: a Pastry [`Application`] implementing the paper's
+//! insert/lookup/reclaim operations, storage management (replica and
+//! file diversion) and caching.
+
+use std::collections::HashMap;
+
+use past_crypto::{FileCertificate, KeyPair, QuotaLedger, ReclaimCertificate, StoreReceipt};
+use past_id::{FileId, NodeId};
+use past_pastry::{AppCtx, Application, NodeEntry};
+use past_store::{NodeStore, Resolution};
+
+use crate::config::PastConfig;
+use crate::events::PastEvent;
+use crate::messages::{HitKind, MsgKind, PastMsg, ReqId};
+
+/// Context alias used by every PAST handler.
+pub(crate) type PCtx<'a, 'b> = AppCtx<'a, 'b, PastMsg, PastEvent>;
+
+/// Timer token for the background migration sweep.
+pub(crate) const MIGRATION_TOKEN: u64 = 0;
+/// Client timeout tokens: `TIMEOUT_BASE + seq`.
+pub(crate) const TIMEOUT_BASE: u64 = 1 << 20;
+
+/// A client operation awaiting completion.
+#[derive(Clone, Debug)]
+pub(crate) enum PendingOp {
+    /// An insert, possibly across several salt attempts.
+    Insert {
+        /// File name (re-hashed on each re-salt).
+        name: String,
+        /// File size.
+        size: u64,
+        /// Attempts made so far (1-based once routed).
+        attempts: u32,
+        /// Certificate of the current attempt.
+        cert: FileCertificate,
+    },
+    /// A lookup.
+    Lookup {
+        /// The requested file.
+        file_id: FileId,
+    },
+    /// A reclaim.
+    Reclaim {
+        /// The reclaimed file.
+        file_id: FileId,
+    },
+}
+
+/// Coordinator-side state for one insert attempt.
+#[derive(Clone, Debug)]
+pub(crate) struct InsertCoord {
+    /// The replica set this coordinator selected.
+    pub expected: Vec<NodeEntry>,
+    /// Receipts collected so far.
+    pub receipts: Vec<StoreReceipt>,
+    /// Nodes that confirmed storage (for discards on abort).
+    pub stored: Vec<NodeEntry>,
+}
+
+/// Node-A-side state for one pending replica diversion.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingDiversion {
+    /// The insert operation (`None` for §3.5 maintenance re-creation).
+    pub req: Option<ReqId>,
+    /// The certificate.
+    pub cert: FileCertificate,
+    /// The coordinator expecting this node's ReplicateResult.
+    pub coordinator: Option<NodeEntry>,
+}
+
+/// A PAST storage node (and client access point).
+pub struct PastNode {
+    pub(crate) cfg: PastConfig,
+    /// The node's smartcard key pair (signs receipts; owns inserted
+    /// files when this node acts as a client).
+    pub(crate) keys: KeyPair,
+    /// The local storage manager.
+    pub(crate) store: NodeStore<NodeEntry>,
+    /// Certificates backing A→B pointers (needed to re-create replicas
+    /// when the holder fails).
+    pub(crate) pointer_certs: HashMap<FileId, FileCertificate>,
+    /// Where the backup (C) pointer for each of our diversions lives.
+    pub(crate) pointer_backup_at: HashMap<FileId, NodeEntry>,
+    /// Certificates backing backup pointers held at this node (role C).
+    pub(crate) backup_certs: HashMap<FileId, FileCertificate>,
+    /// Last known free space of other nodes (piggybacked on messages).
+    pub(crate) free_info: HashMap<NodeId, u64>,
+    /// Client storage quota.
+    pub(crate) quota: QuotaLedger,
+    /// Client-side sequence counter.
+    pub(crate) next_seq: u64,
+    /// Client-side pending operations, by sequence number.
+    pub(crate) pending: HashMap<u64, PendingOp>,
+    /// Coordinator state for in-flight insert attempts.
+    pub(crate) coords: HashMap<(NodeId, u64), InsertCoord>,
+    /// Node-A state for in-flight diversions, keyed by fileId.
+    pub(crate) diversions: HashMap<FileId, PendingDiversion>,
+}
+
+impl PastNode {
+    /// Creates a PAST node with the given configuration, signing keys,
+    /// advertised capacity (bytes) and client quota (bytes).
+    pub fn new(cfg: PastConfig, keys: KeyPair, capacity: u64, quota: u64) -> Self {
+        cfg.validate();
+        let store = NodeStore::new(capacity, cfg.policy, cfg.cache_policy);
+        PastNode {
+            cfg,
+            keys,
+            store,
+            pointer_certs: HashMap::new(),
+            pointer_backup_at: HashMap::new(),
+            backup_certs: HashMap::new(),
+            free_info: HashMap::new(),
+            quota: QuotaLedger::new(quota),
+            next_seq: 0,
+            pending: HashMap::new(),
+            coords: HashMap::new(),
+            diversions: HashMap::new(),
+        }
+    }
+
+    /// Read access to the storage manager.
+    pub fn store(&self) -> &NodeStore<NodeEntry> {
+        &self.store
+    }
+
+    /// Read access to the client quota.
+    pub fn quota(&self) -> &QuotaLedger {
+        &self.quota
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &PastConfig {
+        &self.cfg
+    }
+
+    /// The node's public key.
+    pub fn public_key(&self) -> past_crypto::PublicKey {
+        self.keys.public()
+    }
+
+    /// Number of client operations still pending.
+    pub fn pending_ops(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Wraps a message body with the free-space piggyback.
+    pub(crate) fn msg(&self, kind: MsgKind) -> PastMsg {
+        PastMsg {
+            free: self.store.free(),
+            kind,
+        }
+    }
+
+    /// Sends a PAST message directly to another node.
+    pub(crate) fn send_to(&self, ctx: &mut PCtx<'_, '_>, to: NodeEntry, kind: MsgKind) {
+        let m = self.msg(kind);
+        ctx.send_app(to.addr, m);
+    }
+
+    /// Records a peer's advertised free space.
+    pub(crate) fn note_free(&mut self, node: NodeId, free: u64) {
+        self.free_info.insert(node, free);
+    }
+
+    /// Starts a client timeout for `seq` if timeouts are enabled.
+    pub(crate) fn arm_timeout(&self, ctx: &mut PCtx<'_, '_>, seq: u64) {
+        if self.cfg.client_timeout.micros() > 0 {
+            ctx.set_app_timer(self.cfg.client_timeout, TIMEOUT_BASE + seq);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Client API (invoked by the harness via `PastryNode::invoke_app`).
+    // ------------------------------------------------------------------
+
+    /// Issues an insert of `size` bytes under `name`. Returns the
+    /// client-local sequence number; completion arrives as
+    /// [`PastEvent::InsertDone`].
+    pub fn insert(&mut self, ctx: &mut PCtx<'_, '_>, name: &str, size: u64) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // "The required storage (file size times k) is debited against
+        // the client's storage quota."
+        if self.quota.debit(size.saturating_mul(self.cfg.k as u64)).is_err() {
+            ctx.emit(PastEvent::InsertDone {
+                seq,
+                file_id: FileId::from_bytes([0u8; 20]),
+                size,
+                attempts: 0,
+                success: false,
+            });
+            return seq;
+        }
+        let cert = self.issue_cert(ctx, name, size, 1);
+        self.pending.insert(
+            seq,
+            PendingOp::Insert {
+                name: name.to_string(),
+                size,
+                attempts: 1,
+                cert: cert.clone(),
+            },
+        );
+        self.route_insert(ctx, seq, cert);
+        self.arm_timeout(ctx, seq);
+        seq
+    }
+
+    /// Issues a lookup for `file_id`. Completion arrives as
+    /// [`PastEvent::LookupDone`].
+    pub fn lookup(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        // Check local storage first: a client that stores or caches the
+        // file fetches it at zero routing hops.
+        match self.store.resolve(file_id) {
+            Resolution::Primary | Resolution::DivertedHere => {
+                ctx.emit(PastEvent::LookupDone {
+                    seq,
+                    file_id,
+                    found: true,
+                    hops: 0,
+                    kind: Some(HitKind::Primary),
+                });
+                return seq;
+            }
+            Resolution::Cached => {
+                ctx.emit(PastEvent::LookupDone {
+                    seq,
+                    file_id,
+                    found: true,
+                    hops: 0,
+                    kind: Some(HitKind::Cached),
+                });
+                return seq;
+            }
+            Resolution::Pointer(holder) => {
+                let req = ReqId {
+                    client: ctx.own(),
+                    seq,
+                };
+                self.pending.insert(seq, PendingOp::Lookup { file_id });
+                self.send_to(
+                    ctx,
+                    holder,
+                    MsgKind::FetchDiverted {
+                        req,
+                        file_id,
+                        hops: 0,
+                        path: Vec::new(),
+                    },
+                );
+                self.arm_timeout(ctx, seq);
+                return seq;
+            }
+            Resolution::Miss => {}
+        }
+        let req = ReqId {
+            client: ctx.own(),
+            seq,
+        };
+        self.pending.insert(seq, PendingOp::Lookup { file_id });
+        let m = self.msg(MsgKind::Lookup {
+            req,
+            file_id,
+            path: Vec::new(),
+        });
+        ctx.route(file_id.as_key(), m);
+        self.arm_timeout(ctx, seq);
+        seq
+    }
+
+    /// Issues a reclaim for `file_id` (this node must be the file's
+    /// owner). Completion arrives as [`PastEvent::ReclaimDone`].
+    pub fn reclaim(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let req = ReqId {
+            client: ctx.own(),
+            seq,
+        };
+        let cert = ReclaimCertificate::issue(
+            &self.keys,
+            file_id,
+            ctx.now().micros(),
+            ctx.rng(),
+        );
+        self.pending.insert(seq, PendingOp::Reclaim { file_id });
+        let m = self.msg(MsgKind::Reclaim { req, cert });
+        ctx.route(file_id.as_key(), m);
+        self.arm_timeout(ctx, seq);
+        seq
+    }
+
+    /// Issues the file certificate for an insert attempt. The salt is the
+    /// attempt number, so each file diversion re-salts deterministically.
+    pub(crate) fn issue_cert(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        name: &str,
+        size: u64,
+        attempt: u32,
+    ) -> FileCertificate {
+        let content_hash = past_crypto::Sha1::digest(name.as_bytes());
+        FileCertificate::issue(
+            &self.keys,
+            name,
+            content_hash,
+            size,
+            self.cfg.k,
+            attempt as u64,
+            ctx.now().micros(),
+            ctx.rng(),
+        )
+    }
+
+    pub(crate) fn route_insert(&self, ctx: &mut PCtx<'_, '_>, seq: u64, cert: FileCertificate) {
+        let req = ReqId {
+            client: ctx.own(),
+            seq,
+        };
+        let key = cert.file_id.as_key();
+        let m = self.msg(MsgKind::Insert { req, cert });
+        ctx.route(key, m);
+    }
+
+    /// Handles a client timeout.
+    fn on_timeout(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64) {
+        let op = match self.pending.remove(&seq) {
+            Some(op) => op,
+            None => return, // Completed before the timer fired.
+        };
+        match op {
+            PendingOp::Insert {
+                name,
+                size,
+                attempts,
+                cert,
+            } => {
+                // Treat like a failed attempt: re-salt or give up.
+                self.retry_or_fail_insert(ctx, seq, name, size, attempts, cert);
+            }
+            PendingOp::Lookup { file_id } => {
+                ctx.emit(PastEvent::LookupDone {
+                    seq,
+                    file_id,
+                    found: false,
+                    hops: 0,
+                    kind: None,
+                });
+            }
+            PendingOp::Reclaim { file_id } => {
+                ctx.emit(PastEvent::ReclaimDone {
+                    seq,
+                    file_id,
+                    ok: false,
+                    freed: 0,
+                });
+            }
+        }
+    }
+}
+
+impl Application for PastNode {
+    type Msg = PastMsg;
+    type Upcall = PastEvent;
+
+    fn deliver(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        key: NodeId,
+        msg: PastMsg,
+        hops: u32,
+        _source: NodeEntry,
+    ) {
+        match msg.kind {
+            MsgKind::Insert { req, cert } => {
+                self.note_free(req.client.id, msg.free);
+                self.coordinate_insert(ctx, req, cert);
+            }
+            MsgKind::Lookup { req, file_id, path } => {
+                self.note_free(req.client.id, msg.free);
+                self.lookup_at_responsible(ctx, req, file_id, path, hops);
+            }
+            MsgKind::Reclaim { req, cert } => {
+                self.note_free(req.client.id, msg.free);
+                self.coordinate_reclaim(ctx, req, cert);
+            }
+            other => {
+                // Direct message kinds are never routed; receiving one
+                // here indicates a logic error upstream.
+                debug_assert!(false, "unexpected routed message: {other:?} at {key}");
+            }
+        }
+    }
+
+    fn forward(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        key: NodeId,
+        msg: &mut PastMsg,
+        hops: u32,
+        _source: NodeEntry,
+    ) -> bool {
+        match &mut msg.kind {
+            MsgKind::Insert { req, cert } => {
+                // "When an insert request message first reaches a node
+                // with a nodeId among the k numerically closest to the
+                // fileId", that node takes over as coordinator.
+                if ctx.is_among_k_closest(key, self.cfg.k as usize) {
+                    let (req, cert) = (*req, cert.clone());
+                    self.note_free(req.client.id, msg.free);
+                    self.coordinate_insert(ctx, req, cert);
+                    return false;
+                }
+                // Cache the file passing through (§4: files routed
+                // through a node as part of an insert are cached).
+                self.store.cache_file(cert);
+                true
+            }
+            MsgKind::Lookup { req, file_id, path } => {
+                let (req, file_id) = (*req, *file_id);
+                // "As soon as the request message reaches a node that
+                // stores the file, that node responds with the content."
+                match self.store.resolve(file_id) {
+                    Resolution::Primary | Resolution::DivertedHere => {
+                        let path = path.clone();
+                        self.answer_lookup(ctx, req, file_id, path, hops, HitKind::Primary);
+                        return false;
+                    }
+                    Resolution::Cached => {
+                        let path = path.clone();
+                        self.answer_lookup(ctx, req, file_id, path, hops, HitKind::Cached);
+                        return false;
+                    }
+                    Resolution::Pointer(holder) => {
+                        let path = path.clone();
+                        self.send_to(
+                            ctx,
+                            holder,
+                            MsgKind::FetchDiverted {
+                                req,
+                                file_id,
+                                hops,
+                                path,
+                            },
+                        );
+                        return false;
+                    }
+                    Resolution::Miss => {}
+                }
+                path.push(ctx.own());
+                true
+            }
+            MsgKind::Reclaim { req, cert } => {
+                if ctx.is_among_k_closest(key, self.cfg.k as usize) {
+                    let (req, cert) = (*req, cert.clone());
+                    self.coordinate_reclaim(ctx, req, cert);
+                    return false;
+                }
+                true
+            }
+            _ => true,
+        }
+    }
+
+    fn on_app_message(&mut self, ctx: &mut PCtx<'_, '_>, from: NodeEntry, msg: PastMsg) {
+        self.note_free(from.id, msg.free);
+        match msg.kind {
+            MsgKind::Replicate {
+                req,
+                cert,
+                coordinator,
+            } => self.attempt_store(ctx, Some(req), cert, Some(coordinator)),
+            MsgKind::ReplicateResult {
+                req,
+                file_id,
+                receipt,
+                storer,
+            } => self.on_replicate_result(ctx, req, file_id, receipt, storer),
+            MsgKind::Divert {
+                req,
+                cert,
+                requester,
+            } => self.on_divert_request(ctx, req, cert, requester),
+            MsgKind::DivertResult {
+                req,
+                file_id,
+                accepted,
+                holder,
+            } => self.on_divert_result(ctx, req, file_id, accepted, holder),
+            MsgKind::InstallPointer {
+                file_id,
+                holder,
+                backup,
+                cert,
+            } => self.on_install_pointer(file_id, holder, backup, cert),
+            MsgKind::Discard { file_id } => self.on_discard(ctx, file_id),
+            MsgKind::InsertReply {
+                req,
+                file_id,
+                receipts,
+                expected,
+                ok,
+            } => self.on_insert_reply(ctx, req, file_id, receipts, expected, ok),
+            MsgKind::LookupHit {
+                req,
+                cert,
+                hops,
+                kind,
+                reverse_path,
+            } => self.on_lookup_hit(ctx, req, cert, hops, kind, reverse_path),
+            MsgKind::LookupMiss { req, file_id } => self.on_lookup_miss(ctx, req, file_id),
+            MsgKind::FetchDiverted {
+                req,
+                file_id,
+                hops,
+                path,
+            } => self.on_fetch_diverted(ctx, req, file_id, hops, path),
+            MsgKind::ReclaimExec { cert } => self.on_reclaim_exec(ctx, cert),
+            MsgKind::ReclaimReply {
+                req,
+                file_id,
+                ok,
+                freed,
+            } => self.on_reclaim_reply(ctx, req, file_id, ok, freed),
+            MsgKind::FetchReplica { file_id } => self.on_fetch_replica(ctx, from, file_id),
+            MsgKind::ReplicaTransfer { cert } => self.on_replica_transfer(ctx, from, cert),
+            MsgKind::MigrationDone { file_id } => self.on_migration_done(ctx, file_id),
+            MsgKind::Insert { .. } | MsgKind::Lookup { .. } | MsgKind::Reclaim { .. } => {
+                debug_assert!(false, "routed message arrived as a direct message");
+            }
+        }
+    }
+
+    fn on_joined(&mut self, ctx: &mut PCtx<'_, '_>) {
+        if self.cfg.migration_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.migration_period, MIGRATION_TOKEN);
+        }
+    }
+
+    fn on_neighbor_added(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry) {
+        self.handle_neighbor_added(ctx, node);
+    }
+
+    fn on_neighbor_removed(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry) {
+        self.handle_neighbor_removed(ctx, node);
+    }
+
+    fn on_app_timer(&mut self, ctx: &mut PCtx<'_, '_>, token: u64) {
+        if token == MIGRATION_TOKEN {
+            self.migration_sweep(ctx);
+            if self.cfg.migration_period.micros() > 0 {
+                ctx.set_app_timer(self.cfg.migration_period, MIGRATION_TOKEN);
+            }
+        } else if token >= TIMEOUT_BASE {
+            self.on_timeout(ctx, token - TIMEOUT_BASE);
+        }
+    }
+}

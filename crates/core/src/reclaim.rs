@@ -1,0 +1,144 @@
+//! The reclaim path (§2.2): weak-semantics reclamation of a file's
+//! storage, authorized by a signed reclaim certificate.
+
+use past_crypto::ReclaimCertificate;
+use past_id::FileId;
+use past_store::Resolution;
+
+use crate::events::PastEvent;
+use crate::messages::{MsgKind, ReqId};
+use crate::node::{PCtx, PastNode, PendingOp};
+
+impl PastNode {
+    /// A reclaim request reached one of the k responsible nodes: verify
+    /// ownership, dispatch the reclamation to the replica set and answer
+    /// the client. Reclaim has weak semantics ("reclaim does not
+    /// guarantee that the file is no longer available"), so the
+    /// coordinator replies without waiting for the holders.
+    pub(crate) fn coordinate_reclaim(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        cert: ReclaimCertificate,
+    ) {
+        let file_id = cert.file_id;
+        // Verify against the locally stored certificate where possible.
+        let stored_cert = self
+            .store
+            .replica(file_id)
+            .map(|r| r.cert.clone())
+            .or_else(|| self.pointer_certs.get(&file_id).cloned());
+        let ok = match &stored_cert {
+            Some(sc) => cert.verify(sc).is_ok(),
+            None => false,
+        };
+        if !ok {
+            self.send_to(
+                ctx,
+                req.client,
+                MsgKind::ReclaimReply {
+                    req,
+                    file_id,
+                    ok: false,
+                    freed: 0,
+                },
+            );
+            return;
+        }
+        let stored_cert = stored_cert.expect("checked above");
+        let freed = stored_cert
+            .file_size
+            .saturating_mul(stored_cert.replicas as u64);
+        // Dispatch to every candidate holder (including self).
+        let candidates =
+            ctx.replica_candidates(file_id.as_key(), self.cfg.k as usize);
+        let own = ctx.own();
+        for node in candidates {
+            if node.id == own.id {
+                self.on_reclaim_exec(ctx, cert.clone());
+            } else {
+                self.send_to(ctx, node, MsgKind::ReclaimExec { cert: cert.clone() });
+            }
+        }
+        self.send_to(
+            ctx,
+            req.client,
+            MsgKind::ReclaimReply {
+                req,
+                file_id,
+                ok: true,
+                freed,
+            },
+        );
+    }
+
+    /// A replica holder executes a reclaim: each node re-verifies the
+    /// certificate against its own stored copy ("the replica storing
+    /// nodes verify that the file's legitimate owner is requesting the
+    /// operation").
+    pub(crate) fn on_reclaim_exec(&mut self, ctx: &mut PCtx<'_, '_>, cert: ReclaimCertificate) {
+        let file_id = cert.file_id;
+        match self.store.resolve(file_id) {
+            Resolution::Primary | Resolution::DivertedHere => {
+                let stored = self.store.replica(file_id).expect("resolved").cert.clone();
+                if cert.verify(&stored).is_ok() {
+                    let replica = self.store.remove_replica(file_id).expect("resolved");
+                    ctx.emit(PastEvent::ReplicaDropped {
+                        file_id,
+                        size: replica.size(),
+                        diverted: replica.diverted_from.is_some(),
+                    });
+                }
+            }
+            Resolution::Pointer(holder) => {
+                let valid = self
+                    .pointer_certs
+                    .get(&file_id)
+                    .map(|sc| cert.verify(sc).is_ok())
+                    .unwrap_or(false);
+                if valid {
+                    self.store.remove_pointer(file_id);
+                    self.pointer_certs.remove(&file_id);
+                    self.send_to(ctx, holder, MsgKind::ReclaimExec { cert: cert.clone() });
+                    if let Some(c_node) = self.pointer_backup_at.remove(&file_id) {
+                        self.send_to(ctx, c_node, MsgKind::Discard { file_id });
+                    }
+                }
+            }
+            Resolution::Cached | Resolution::Miss => {
+                // Nothing authoritative here; drop any backup pointer.
+                if self.store.remove_backup_pointer(file_id).is_some() {
+                    self.backup_certs.remove(&file_id);
+                }
+            }
+        }
+    }
+
+    /// Client receives the reclaim verdict and credits its quota.
+    pub(crate) fn on_reclaim_reply(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        req: ReqId,
+        file_id: FileId,
+        ok: bool,
+        freed: u64,
+    ) {
+        match self.pending.remove(&req.seq) {
+            Some(PendingOp::Reclaim { .. }) => {
+                if ok {
+                    let _ = self.quota.credit(freed);
+                }
+                ctx.emit(PastEvent::ReclaimDone {
+                    seq: req.seq,
+                    file_id,
+                    ok,
+                    freed: if ok { freed } else { 0 },
+                });
+            }
+            Some(other) => {
+                self.pending.insert(req.seq, other);
+            }
+            None => {}
+        }
+    }
+}

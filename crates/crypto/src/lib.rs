@@ -1,0 +1,31 @@
+//! Cryptographic substrate for the PAST reproduction.
+//!
+//! This crate implements, from scratch, everything the PAST paper's
+//! security machinery (§2.2–§2.3) relies on:
+//!
+//! - [`Sha1`]: SHA-1 (RFC 3174) — PAST derives fileIds and nodeIds from
+//!   SHA-1 and uses it for content integrity hashes.
+//! - [`U256`]: fixed-width 256-bit integer arithmetic supporting the
+//!   signature scheme.
+//! - [`sign`]: a Schnorr-style signature over Z_p^* (p = 2^255 − 19) plus
+//!   a fast *simulated* keyed-hash scheme used by the large trace-driven
+//!   experiments (see the module docs for the security caveats — neither
+//!   instantiation is production crypto, by design of the reproduction).
+//! - [`cert`]: file certificates, reclaim certificates and store receipts.
+//! - [`smartcard`]: the smartcard model — issuer-certified key pairs,
+//!   tamper-proof nodeId derivation, per-card storage quotas.
+//! - [`quota`]: the quota ledger that keeps storage demand below supply.
+
+pub mod cert;
+pub mod quota;
+mod sha1;
+pub mod sign;
+pub mod smartcard;
+mod u256;
+
+pub use cert::{compute_file_id, CertError, FileCertificate, ReclaimCertificate, StoreReceipt};
+pub use quota::{QuotaError, QuotaLedger};
+pub use sha1::{Digest, Sha1};
+pub use sign::{KeyPair, PublicKey, Scheme, Signature};
+pub use smartcard::{derive_node_id, CardIssuer, NodeIdCertificate, Smartcard};
+pub use u256::U256;

@@ -1,0 +1,163 @@
+//! Storage quota management.
+//!
+//! PAST "addresses this problem by maintaining storage quotas, thus
+//! ensuring that demand for storage cannot exceed the supply" (§3.5). The
+//! paper delegates quota bookkeeping to the smartcards: an insert debits
+//! `file size × k` against the client's quota, and verified reclaim
+//! receipts credit it back.
+
+use serde::{Deserialize, Serialize};
+
+/// Errors from quota operations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum QuotaError {
+    /// The debit would exceed the remaining quota.
+    Exceeded {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A credit would exceed the total ever debited (double refund).
+    OverCredit,
+}
+
+impl std::fmt::Display for QuotaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuotaError::Exceeded {
+                requested,
+                available,
+            } => write!(
+                f,
+                "quota exceeded: requested {requested} bytes, {available} available"
+            ),
+            QuotaError::OverCredit => write!(f, "credit exceeds outstanding debits"),
+        }
+    }
+}
+
+impl std::error::Error for QuotaError {}
+
+/// A per-user quota ledger.
+///
+/// # Examples
+///
+/// ```
+/// use past_crypto::quota::QuotaLedger;
+///
+/// let mut q = QuotaLedger::new(1000);
+/// q.debit(5 * 100).unwrap(); // insert a 100-byte file with k = 5
+/// assert_eq!(q.available(), 500);
+/// q.credit(5 * 100).unwrap(); // reclaim it
+/// assert_eq!(q.available(), 1000);
+/// ```
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct QuotaLedger {
+    limit: u64,
+    used: u64,
+}
+
+impl QuotaLedger {
+    /// Creates a ledger with `limit` bytes of quota.
+    pub fn new(limit: u64) -> Self {
+        QuotaLedger { limit, used: 0 }
+    }
+
+    /// Total quota.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes currently debited.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.limit - self.used
+    }
+
+    /// Debits `bytes` (an insert of size s with replication k debits s·k).
+    pub fn debit(&mut self, bytes: u64) -> Result<(), QuotaError> {
+        if bytes > self.available() {
+            return Err(QuotaError::Exceeded {
+                requested: bytes,
+                available: self.available(),
+            });
+        }
+        self.used += bytes;
+        Ok(())
+    }
+
+    /// Credits `bytes` back after a verified reclaim.
+    pub fn credit(&mut self, bytes: u64) -> Result<(), QuotaError> {
+        if bytes > self.used {
+            return Err(QuotaError::OverCredit);
+        }
+        self.used -= bytes;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn debit_then_credit_restores() {
+        let mut q = QuotaLedger::new(100);
+        q.debit(60).unwrap();
+        assert_eq!(q.available(), 40);
+        q.credit(60).unwrap();
+        assert_eq!(q.available(), 100);
+    }
+
+    #[test]
+    fn debit_beyond_limit_fails() {
+        let mut q = QuotaLedger::new(100);
+        assert_eq!(
+            q.debit(101),
+            Err(QuotaError::Exceeded {
+                requested: 101,
+                available: 100
+            })
+        );
+        assert_eq!(q.used(), 0, "failed debit must not change state");
+    }
+
+    #[test]
+    fn over_credit_fails() {
+        let mut q = QuotaLedger::new(100);
+        q.debit(10).unwrap();
+        assert_eq!(q.credit(11), Err(QuotaError::OverCredit));
+        assert_eq!(q.used(), 10);
+    }
+
+    #[test]
+    fn exact_boundary_allowed() {
+        let mut q = QuotaLedger::new(100);
+        q.debit(100).unwrap();
+        assert_eq!(q.available(), 0);
+        assert!(q.debit(1).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_used_never_exceeds_limit(limit in 0u64..1_000_000, ops: Vec<(bool, u32)>) {
+            let mut q = QuotaLedger::new(limit);
+            for (is_debit, amount) in ops {
+                let amount = amount as u64;
+                if is_debit {
+                    let _ = q.debit(amount);
+                } else {
+                    let _ = q.credit(amount);
+                }
+                prop_assert!(q.used() <= q.limit());
+                prop_assert_eq!(q.available(), q.limit() - q.used());
+            }
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! SHA-1 implemented from scratch (RFC 3174 / FIPS 180-1).
+//!
+//! PAST uses SHA-1 everywhere an identifier or integrity check is needed:
+//! fileIds are the SHA-1 hash of (file name, owner public key, salt),
+//! nodeIds are the SHA-1 hash of the node's public key, and file
+//! certificates carry a SHA-1 hash of the file content.
+//!
+//! SHA-1 is cryptographically broken for collision resistance today; it is
+//! implemented here because it is what the paper specifies and because the
+//! reproduction needs a deterministic 160-bit hash, not production
+//! security.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use past_id::{FileId, NodeId, FILE_ID_BYTES};
+
+/// A 160-bit SHA-1 digest.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Interprets the digest as a 160-bit file identifier.
+    pub fn to_file_id(self) -> FileId {
+        FileId::from_bytes(self.0)
+    }
+
+    /// Interprets the 128 most significant bits as a node identifier,
+    /// mirroring the paper's quasi-random nodeId assignment (SHA-1 of the
+    /// node's public key).
+    pub fn to_node_id(self) -> NodeId {
+        let mut bytes = [0u8; 16];
+        bytes.copy_from_slice(&self.0[..16]);
+        NodeId::from_bytes(bytes)
+    }
+
+    /// Returns the digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+const _: () = assert!(FILE_ID_BYTES == 20, "SHA-1 digest width must match FileId");
+
+/// Streaming SHA-1 hasher.
+///
+/// # Examples
+///
+/// ```
+/// use past_crypto::Sha1;
+///
+/// let mut h = Sha1::new();
+/// h.update(b"abc");
+/// assert_eq!(
+///     h.finalize().to_string(),
+///     "a9993e364706816aba3e25717850c26c9cd0d89d"
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes, so far.
+    len: u64,
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial state.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0],
+            len: 0,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let take = rest.len().min(64 - self.buf_len);
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            let mut arr = [0u8; 64];
+            arr.copy_from_slice(block);
+            self.compress(&arr);
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Completes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80, zeros, then the 64-bit big-endian bit length.
+        self.update(&[0x80]);
+        while self.buf_len != 56 {
+            self.update(&[0]);
+        }
+        // `update` above also bumped `len`, but we captured bit_len first.
+        let mut arr = self.buf;
+        arr[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        self.compress(&arr.clone());
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// One-shot convenience for hashing a byte string.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A827999),
+                20..=39 => (b ^ c ^ d, 0x6ED9EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1BBCDC),
+                _ => (b ^ c ^ d, 0xCA62C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(d: Digest) -> String {
+        d.to_string()
+    }
+
+    #[test]
+    fn rfc3174_test_vectors() {
+        assert_eq!(
+            hex(Sha1::digest(b"abc")),
+            "a9993e364706816aba3e25717850c26c9cd0d89d"
+        );
+        assert_eq!(
+            hex(Sha1::digest(
+                b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"
+            )),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(Sha1::digest(&b"a".repeat(1_000_000))),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+        assert_eq!(
+            hex(Sha1::digest(
+                &b"0123456701234567012345670123456701234567012345670123456701234567".repeat(10)
+            )),
+            "dea356a2cddd90c7a7ecedc5ebb563934f460452"
+        );
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(
+            hex(Sha1::digest(b"")),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let data = b"The quick brown fox jumps over the lazy dog";
+        let mut h = Sha1::new();
+        for chunk in data.chunks(7) {
+            h.update(chunk);
+        }
+        assert_eq!(h.finalize(), Sha1::digest(data));
+        assert_eq!(
+            hex(Sha1::digest(data)),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn block_boundary_lengths() {
+        // Exercise padding around the 55/56/63/64 byte boundaries.
+        for n in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 120, 127, 128, 129] {
+            let data = vec![0x5a_u8; n];
+            let mut h = Sha1::new();
+            let mid = n / 2;
+            h.update(&data[..mid]);
+            h.update(&data[mid..]);
+            assert_eq!(h.finalize(), Sha1::digest(&data), "length {n}");
+        }
+    }
+
+    #[test]
+    fn digest_to_ids() {
+        let d = Sha1::digest(b"node key");
+        let fid = d.to_file_id();
+        assert_eq!(fid.as_bytes(), d.as_bytes());
+        let nid = d.to_node_id();
+        assert_eq!(&nid.to_bytes()[..], &d.as_bytes()[..16]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_update_equals_oneshot(data: Vec<u8>, split in 0usize..=256) {
+            let split = split.min(data.len());
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        }
+
+        #[test]
+        fn prop_distinct_inputs_distinct_digests(a: Vec<u8>, b: Vec<u8>) {
+            prop_assume!(a != b);
+            // Not a guarantee in theory, but any failure here would mean a
+            // catastrophically broken implementation.
+            prop_assert_ne!(Sha1::digest(&a), Sha1::digest(&b));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! Signature schemes for PAST certificates.
+//!
+//! The paper assumes each node and each user holds a smartcard with a
+//! private/public key pair; certificates (file certificates, reclaim
+//! certificates, store receipts, nodeId certificates) are signed and
+//! verified with those keys.
+//!
+//! Two schemes are provided behind one [`KeyPair`]/[`PublicKey`] API:
+//!
+//! - [`Scheme::Schnorr`]: a real Schnorr-style signature over the
+//!   multiplicative group of the field of prime order p = 2^255 − 19,
+//!   built on this crate's own [`crate::U256`] arithmetic and SHA-1 hash.
+//!   **This instantiation is structurally faithful but NOT secure for
+//!   production use**: the full group Z_p^* has composite order, the
+//!   arithmetic is not constant time, and SHA-1 is broken. The paper's
+//!   security model is out of scope of its evaluation; what matters for
+//!   the reproduction is that certificates are issued, routed and checked
+//!   end to end with real asymmetric-style math.
+//! - [`Scheme::Keyed`]: a fast *simulated* signature (SHA-1 over public
+//!   key ‖ message). Within a closed simulation with no adversary, it
+//!   exercises the identical certificate plumbing at negligible cost;
+//!   the large trace-driven experiments use it so that signing 10^5–10^6
+//!   certificates does not dominate run time. It offers no unforgeability.
+//!
+//! # Examples
+//!
+//! ```
+//! use past_crypto::sign::{KeyPair, Scheme};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
+//! let sig = kp.sign(b"file certificate body", &mut rng);
+//! assert!(kp.public().verify(b"file certificate body", &sig));
+//! assert!(!kp.public().verify(b"tampered body", &sig));
+//! ```
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sha1::{Digest, Sha1};
+use crate::u256::U256;
+
+/// Group parameters for the Schnorr-style scheme.
+pub mod group {
+    use crate::u256::U256;
+
+    /// The prime modulus p = 2^255 − 19.
+    pub const P: U256 = U256([
+        0xffff_ffff_ffff_ffed,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x7fff_ffff_ffff_ffff,
+    ]);
+
+    /// Exponent modulus: the group order p − 1 = 2^255 − 20.
+    pub const ORDER: U256 = U256([
+        0xffff_ffff_ffff_ffec,
+        0xffff_ffff_ffff_ffff,
+        0xffff_ffff_ffff_ffff,
+        0x7fff_ffff_ffff_ffff,
+    ]);
+
+    /// Generator g = 2 of a large subgroup of Z_p^*.
+    pub const G: U256 = U256([2, 0, 0, 0]);
+}
+
+/// Which signature scheme a key pair uses.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Real Schnorr-style math over Z_p^* (slow, asymmetric).
+    Schnorr,
+    /// Simulated keyed-hash signature (fast, for closed simulations).
+    Keyed,
+}
+
+/// A public key.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum PublicKey {
+    /// y = g^x mod p.
+    Schnorr(U256),
+    /// A hash commitment to the secret.
+    Keyed(Digest),
+}
+
+/// A signature produced by [`KeyPair::sign`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum Signature {
+    /// Schnorr pair (e, s): e = H(g^k ‖ m), s = k − x·e mod (p−1).
+    Schnorr {
+        /// Challenge hash reduced into the exponent group.
+        e: U256,
+        /// Response scalar.
+        s: U256,
+    },
+    /// Simulated tag H(pubkey ‖ m).
+    Keyed(Digest),
+}
+
+/// A private/public key pair.
+#[derive(Clone, Debug)]
+pub struct KeyPair {
+    scheme: Scheme,
+    secret: U256,
+    public: PublicKey,
+}
+
+impl PublicKey {
+    /// Serializes the key for hashing into identifiers and certificates.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            PublicKey::Schnorr(y) => {
+                let mut v = vec![0u8];
+                v.extend_from_slice(&y.to_be_bytes());
+                v
+            }
+            PublicKey::Keyed(d) => {
+                let mut v = vec![1u8];
+                v.extend_from_slice(d.as_bytes());
+                v
+            }
+        }
+    }
+
+    /// Returns the SHA-1 digest of the serialized key.
+    ///
+    /// PAST derives nodeIds from this digest ("the nodeId assignment is
+    /// quasi-random, e.g. SHA-1 hash of the node's public key").
+    pub fn digest(&self) -> Digest {
+        Sha1::digest(&self.to_bytes())
+    }
+
+    /// Verifies `sig` over `message`.
+    pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
+        match (self, sig) {
+            (PublicKey::Schnorr(y), Signature::Schnorr { e, s }) => {
+                if *e >= group::ORDER || *s >= group::ORDER {
+                    return false;
+                }
+                // r' = g^s * y^e mod p; accept iff H(r' ‖ m) == e.
+                let gs = group::G.powmod(*s, group::P);
+                let ye = y.powmod(*e, group::P);
+                let r = gs.mulmod(ye, group::P);
+                challenge(r, message) == *e
+            }
+            (PublicKey::Keyed(_), Signature::Keyed(tag)) => *tag == keyed_tag(self, message),
+            _ => false,
+        }
+    }
+}
+
+impl KeyPair {
+    /// Generates a fresh key pair for `scheme`.
+    pub fn generate<R: Rng + ?Sized>(scheme: Scheme, rng: &mut R) -> Self {
+        match scheme {
+            Scheme::Schnorr => {
+                let x = U256::random_below(rng, group::ORDER);
+                let y = group::G.powmod(x, group::P);
+                KeyPair {
+                    scheme,
+                    secret: x,
+                    public: PublicKey::Schnorr(y),
+                }
+            }
+            Scheme::Keyed => {
+                let secret = U256([rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+                let public = PublicKey::Keyed(Sha1::digest(&secret.to_be_bytes()));
+                KeyPair {
+                    scheme,
+                    secret,
+                    public,
+                }
+            }
+        }
+    }
+
+    /// Returns the public half.
+    pub fn public(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Returns the scheme this pair uses.
+    pub fn scheme(&self) -> Scheme {
+        self.scheme
+    }
+
+    /// Signs `message`.
+    pub fn sign<R: Rng + ?Sized>(&self, message: &[u8], rng: &mut R) -> Signature {
+        match self.scheme {
+            Scheme::Schnorr => {
+                // Standard Schnorr: k random, r = g^k, e = H(r ‖ m),
+                // s = k − x·e (mod group order).
+                let k = U256::random_below(rng, group::ORDER);
+                let r = group::G.powmod(k, group::P);
+                let e = challenge(r, message);
+                let xe = self.secret.mulmod(e, group::ORDER);
+                let s = k.submod(xe, group::ORDER);
+                Signature::Schnorr { e, s }
+            }
+            Scheme::Keyed => Signature::Keyed(keyed_tag(&self.public, message)),
+        }
+    }
+}
+
+/// Hash the commitment and message into an exponent-group scalar.
+fn challenge(r: U256, message: &[u8]) -> U256 {
+    let mut h = Sha1::new();
+    h.update(&r.to_be_bytes());
+    h.update(message);
+    let d = h.finalize();
+    // Widen the 160-bit digest to 256 bits by hashing twice with domain
+    // separation, then reduce into the exponent group.
+    let mut h2 = Sha1::new();
+    h2.update(b"widen");
+    h2.update(d.as_bytes());
+    let d2 = h2.finalize();
+    let mut bytes = [0u8; 32];
+    bytes[..20].copy_from_slice(d.as_bytes());
+    bytes[20..].copy_from_slice(&d2.as_bytes()[..12]);
+    U256::from_be_bytes(bytes).reduce_mod(group::ORDER)
+}
+
+/// Simulated signature tag: SHA-1(pubkey ‖ message).
+fn keyed_tag(public: &PublicKey, message: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(&public.to_bytes());
+    h.update(message);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn schnorr_sign_verify_roundtrip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        for msg in [&b"hello"[..], b"", b"a much longer message body ..."] {
+            let sig = kp.sign(msg, &mut rng);
+            assert!(kp.public().verify(msg, &sig));
+        }
+    }
+
+    #[test]
+    fn schnorr_rejects_tampered_message() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let sig = kp.sign(b"original", &mut rng);
+        assert!(!kp.public().verify(b"tampered", &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_wrong_key() {
+        let mut rng = rng();
+        let kp1 = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let kp2 = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let sig = kp1.sign(b"msg", &mut rng);
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn schnorr_rejects_out_of_range_scalars() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let bad = Signature::Schnorr {
+            e: group::ORDER,
+            s: U256::ONE,
+        };
+        assert!(!kp.public().verify(b"msg", &bad));
+    }
+
+    #[test]
+    fn keyed_sign_verify_roundtrip() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(Scheme::Keyed, &mut rng);
+        let sig = kp.sign(b"quota receipt", &mut rng);
+        assert!(kp.public().verify(b"quota receipt", &sig));
+        assert!(!kp.public().verify(b"other", &sig));
+    }
+
+    #[test]
+    fn keyed_rejects_wrong_key() {
+        let mut rng = rng();
+        let kp1 = KeyPair::generate(Scheme::Keyed, &mut rng);
+        let kp2 = KeyPair::generate(Scheme::Keyed, &mut rng);
+        let sig = kp1.sign(b"msg", &mut rng);
+        assert!(!kp2.public().verify(b"msg", &sig));
+    }
+
+    #[test]
+    fn cross_scheme_signatures_rejected() {
+        let mut rng = rng();
+        let schnorr = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let keyed = KeyPair::generate(Scheme::Keyed, &mut rng);
+        let s_sig = schnorr.sign(b"m", &mut rng);
+        let k_sig = keyed.sign(b"m", &mut rng);
+        assert!(!schnorr.public().verify(b"m", &k_sig));
+        assert!(!keyed.public().verify(b"m", &s_sig));
+    }
+
+    #[test]
+    fn distinct_keys_distinct_digests() {
+        let mut rng = rng();
+        let a = KeyPair::generate(Scheme::Keyed, &mut rng);
+        let b = KeyPair::generate(Scheme::Keyed, &mut rng);
+        assert_ne!(a.public().digest(), b.public().digest());
+    }
+
+    #[test]
+    fn signatures_are_randomized_but_both_verify() {
+        let mut rng = rng();
+        let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
+        let s1 = kp.sign(b"m", &mut rng);
+        let s2 = kp.sign(b"m", &mut rng);
+        assert_ne!(s1, s2, "Schnorr signatures use fresh nonces");
+        assert!(kp.public().verify(b"m", &s1));
+        assert!(kp.public().verify(b"m", &s2));
+    }
+}

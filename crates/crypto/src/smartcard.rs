@@ -1,0 +1,204 @@
+//! The smartcard model (paper §2.3).
+//!
+//! Each PAST node and each user holds a smartcard; a private/public key
+//! pair is associated with each card, and each card's public key is signed
+//! with the smartcard issuer's private key for certification. The cards
+//! generate and verify certificates and maintain storage quotas. The
+//! crucial property is that *the smartcards ensure the integrity of nodeId
+//! and fileId assignments*: a node cannot choose its own nodeId, so an
+//! attacker cannot place itself adjacent to a victim file's replicas.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use past_id::NodeId;
+
+use crate::cert::CertError;
+use crate::quota::QuotaLedger;
+use crate::sign::{KeyPair, PublicKey, Scheme, Signature};
+
+/// A certificate binding a public key to its derived nodeId, signed by the
+/// card issuer.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct NodeIdCertificate {
+    /// The card holder's public key.
+    pub holder: PublicKey,
+    /// The nodeId derived from the holder key (128 msbs of its SHA-1).
+    pub node_id: NodeId,
+    /// Issuer signature over (holder, node_id).
+    pub signature: Signature,
+}
+
+impl NodeIdCertificate {
+    fn signing_bytes(holder: &PublicKey, node_id: NodeId) -> Vec<u8> {
+        let mut v = Vec::with_capacity(64);
+        v.extend_from_slice(b"PAST-NODEID-CERT");
+        v.extend_from_slice(&holder.to_bytes());
+        v.extend_from_slice(&node_id.to_bytes());
+        v
+    }
+
+    /// Verifies the issuer signature and the nodeId derivation.
+    pub fn verify(&self, issuer: &PublicKey) -> Result<(), CertError> {
+        if derive_node_id(&self.holder) != self.node_id {
+            return Err(CertError::FileIdMismatch);
+        }
+        if issuer.verify(
+            &Self::signing_bytes(&self.holder, self.node_id),
+            &self.signature,
+        ) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature)
+        }
+    }
+}
+
+/// Derives the quasi-random nodeId from a public key: the 128 most
+/// significant bits of SHA-1(key). The holder cannot bias the result
+/// without finding hash preimages.
+pub fn derive_node_id(key: &PublicKey) -> NodeId {
+    key.digest().to_node_id()
+}
+
+/// The smartcard issuer: a trusted party whose key certifies every card.
+#[derive(Debug)]
+pub struct CardIssuer {
+    keypair: KeyPair,
+}
+
+impl CardIssuer {
+    /// Creates an issuer with a fresh key pair for `scheme`.
+    pub fn new<R: Rng + ?Sized>(scheme: Scheme, rng: &mut R) -> Self {
+        CardIssuer {
+            keypair: KeyPair::generate(scheme, rng),
+        }
+    }
+
+    /// The issuer's public key, distributed to all participants.
+    pub fn public(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// Issues a smartcard with a fresh holder key pair and `quota` bytes
+    /// of storage quota.
+    pub fn issue_card<R: Rng + ?Sized>(&self, quota: u64, rng: &mut R) -> Smartcard {
+        let holder = KeyPair::generate(self.keypair.scheme(), rng);
+        let node_id = derive_node_id(&holder.public());
+        let signature = self.keypair.sign(
+            &NodeIdCertificate::signing_bytes(&holder.public(), node_id),
+            rng,
+        );
+        let node_id_cert = NodeIdCertificate {
+            holder: holder.public(),
+            node_id,
+            signature,
+        };
+        Smartcard {
+            keypair: holder,
+            node_id_cert,
+            quota: QuotaLedger::new(quota),
+        }
+    }
+}
+
+/// A smartcard: key pair, issuer-signed nodeId certificate, quota ledger.
+#[derive(Debug)]
+pub struct Smartcard {
+    keypair: KeyPair,
+    node_id_cert: NodeIdCertificate,
+    quota: QuotaLedger,
+}
+
+impl Smartcard {
+    /// The card's key pair (signing happens "inside the card").
+    pub fn keypair(&self) -> &KeyPair {
+        &self.keypair
+    }
+
+    /// The card holder's public key.
+    pub fn public(&self) -> PublicKey {
+        self.keypair.public()
+    }
+
+    /// The derived nodeId (for cards installed in storage nodes).
+    pub fn node_id(&self) -> NodeId {
+        self.node_id_cert.node_id
+    }
+
+    /// The issuer-signed nodeId certificate.
+    pub fn node_id_cert(&self) -> &NodeIdCertificate {
+        &self.node_id_cert
+    }
+
+    /// Mutable access to the quota ledger.
+    pub fn quota_mut(&mut self) -> &mut QuotaLedger {
+        &mut self.quota
+    }
+
+    /// Read access to the quota ledger.
+    pub fn quota(&self) -> &QuotaLedger {
+        &self.quota
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn issued_card_verifies() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let issuer = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let card = issuer.issue_card(1_000_000, &mut rng);
+        assert!(card.node_id_cert().verify(&issuer.public()).is_ok());
+        assert_eq!(card.node_id(), derive_node_id(&card.public()));
+    }
+
+    #[test]
+    fn forged_node_id_detected() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let issuer = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let card = issuer.issue_card(0, &mut rng);
+        let mut cert = card.node_id_cert().clone();
+        // A malicious operator tries to claim an adjacent nodeId.
+        cert.node_id = NodeId::from_u128(cert.node_id.as_u128().wrapping_add(1));
+        assert!(cert.verify(&issuer.public()).is_err());
+    }
+
+    #[test]
+    fn card_from_other_issuer_rejected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let issuer_a = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let issuer_b = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let card = issuer_a.issue_card(0, &mut rng);
+        assert!(card.node_id_cert().verify(&issuer_b.public()).is_err());
+    }
+
+    #[test]
+    fn cards_have_distinct_node_ids() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let issuer = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let a = issuer.issue_card(0, &mut rng);
+        let b = issuer.issue_card(0, &mut rng);
+        assert_ne!(a.node_id(), b.node_id());
+    }
+
+    #[test]
+    fn quota_lives_on_the_card() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let issuer = CardIssuer::new(Scheme::Keyed, &mut rng);
+        let mut card = issuer.issue_card(500, &mut rng);
+        card.quota_mut().debit(200).unwrap();
+        assert_eq!(card.quota().available(), 300);
+    }
+
+    #[test]
+    fn schnorr_cards_verify() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let issuer = CardIssuer::new(Scheme::Schnorr, &mut rng);
+        let card = issuer.issue_card(0, &mut rng);
+        assert!(card.node_id_cert().verify(&issuer.public()).is_ok());
+    }
+}

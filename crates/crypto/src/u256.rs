@@ -1,0 +1,406 @@
+//! Fixed-width 256-bit unsigned integer arithmetic.
+//!
+//! This is the minimal arithmetic needed for the Schnorr-style signature
+//! scheme in [`crate::sign`]: comparison, modular addition/subtraction,
+//! modular multiplication (binary double-and-add, so no wide division is
+//! required) and modular exponentiation. It is written for clarity and
+//! determinism, not constant-time operation — see the security notes in
+//! the crate docs.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub struct U256(pub [u64; 4]);
+
+impl U256 {
+    /// Zero.
+    pub const ZERO: U256 = U256([0, 0, 0, 0]);
+
+    /// One.
+    pub const ONE: U256 = U256([1, 0, 0, 0]);
+
+    /// Creates a value from a `u128`.
+    pub const fn from_u128(v: u128) -> Self {
+        U256([v as u64, (v >> 64) as u64, 0, 0])
+    }
+
+    /// Creates a value from 32 big-endian bytes.
+    pub fn from_be_bytes(bytes: [u8; 32]) -> Self {
+        let mut limbs = [0u64; 4];
+        for (i, limb) in limbs.iter_mut().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            let mut chunk = [0u8; 8];
+            chunk.copy_from_slice(&bytes[start..start + 8]);
+            *limb = u64::from_be_bytes(chunk);
+        }
+        U256(limbs)
+    }
+
+    /// Returns the value as 32 big-endian bytes.
+    pub fn to_be_bytes(self) -> [u8; 32] {
+        let mut out = [0u8; 32];
+        for (i, limb) in self.0.iter().enumerate() {
+            let start = 32 - 8 * (i + 1);
+            out[start..start + 8].copy_from_slice(&limb.to_be_bytes());
+        }
+        out
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == [0, 0, 0, 0]
+    }
+
+    /// Returns bit `i` (0 = least significant).
+    pub fn bit(self, i: u32) -> bool {
+        debug_assert!(i < 256);
+        (self.0[(i / 64) as usize] >> (i % 64)) & 1 == 1
+    }
+
+    /// Index of the highest set bit, or `None` for zero.
+    pub fn highest_bit(self) -> Option<u32> {
+        for limb_idx in (0..4).rev() {
+            if self.0[limb_idx] != 0 {
+                return Some(limb_idx as u32 * 64 + 63 - self.0[limb_idx].leading_zeros());
+            }
+        }
+        None
+    }
+
+    /// Wrapping addition returning (sum, carry).
+    pub fn overflowing_add(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = false;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (s1, c1) = a.overflowing_add(*b);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            *o = s2;
+            carry = c1 || c2;
+        }
+        (U256(out), carry)
+    }
+
+    /// Wrapping subtraction returning (difference, borrow).
+    pub fn overflowing_sub(self, rhs: U256) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut borrow = false;
+        for (o, (a, b)) in out.iter_mut().zip(self.0.iter().zip(rhs.0.iter())) {
+            let (d1, b1) = a.overflowing_sub(*b);
+            let (d2, b2) = d1.overflowing_sub(borrow as u64);
+            *o = d2;
+            borrow = b1 || b2;
+        }
+        (U256(out), borrow)
+    }
+
+    /// Left shift by one bit, returning (shifted, carried-out bit).
+    pub fn shl1(self) -> (U256, bool) {
+        let mut out = [0u64; 4];
+        let mut carry = 0u64;
+        for (o, a) in out.iter_mut().zip(self.0.iter()) {
+            *o = (a << 1) | carry;
+            carry = a >> 63;
+        }
+        (U256(out), carry == 1)
+    }
+
+    /// Addition modulo `m`. Operands must already be reduced (`< m`).
+    pub fn addmod(self, rhs: U256, m: U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        let (sum, carry) = self.overflowing_add(rhs);
+        if carry || sum >= m {
+            sum.overflowing_sub(m).0
+        } else {
+            sum
+        }
+    }
+
+    /// Subtraction modulo `m`. Operands must already be reduced.
+    pub fn submod(self, rhs: U256, m: U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        if self >= rhs {
+            self.overflowing_sub(rhs).0
+        } else {
+            self.overflowing_add(m).0.overflowing_sub(rhs).0
+        }
+    }
+
+    /// Multiplication modulo `m` via binary double-and-add.
+    ///
+    /// Runs in 256 iterations regardless of operand values. Operands must
+    /// already be reduced.
+    pub fn mulmod(self, rhs: U256, m: U256) -> U256 {
+        debug_assert!(self < m && rhs < m);
+        debug_assert!(!m.is_zero());
+        let mut acc = U256::ZERO;
+        // Iterate from the most significant bit of rhs downward:
+        // acc = acc*2 + self*bit, reduced mod m at each step.
+        let top = match rhs.highest_bit() {
+            Some(t) => t,
+            None => return U256::ZERO,
+        };
+        for i in (0..=top).rev() {
+            // acc = 2*acc mod m.
+            let (doubled, carry) = acc.shl1();
+            acc = if carry || doubled >= m {
+                doubled.overflowing_sub(m).0
+            } else {
+                doubled
+            };
+            if rhs.bit(i) {
+                acc = acc.addmod(self, m);
+            }
+        }
+        acc
+    }
+
+    /// Exponentiation modulo `m` via square-and-multiply.
+    pub fn powmod(self, exp: U256, m: U256) -> U256 {
+        debug_assert!(!m.is_zero());
+        if m == U256::ONE {
+            return U256::ZERO;
+        }
+        let mut result = U256::ONE;
+        let mut base = self;
+        if base >= m {
+            // Reduce an unreduced base by repeated subtraction of m shifted;
+            // only needed for base < 2m in practice, but handle generally.
+            base = base.reduce_mod(m);
+        }
+        let top = match exp.highest_bit() {
+            Some(t) => t,
+            None => return U256::ONE,
+        };
+        for i in (0..=top).rev() {
+            result = result.mulmod(result, m);
+            if exp.bit(i) {
+                result = result.mulmod(base, m);
+            }
+        }
+        result
+    }
+
+    /// Full reduction modulo `m` by shift-and-subtract (binary long
+    /// division keeping only the remainder).
+    pub fn reduce_mod(self, m: U256) -> U256 {
+        debug_assert!(!m.is_zero());
+        if self < m {
+            return self;
+        }
+        let mut rem = U256::ZERO;
+        let top = self.highest_bit().unwrap_or(0);
+        for i in (0..=top).rev() {
+            let (shifted, carry) = rem.shl1();
+            rem = shifted;
+            debug_assert!(!carry, "remainder overflow during reduction");
+            if self.bit(i) {
+                rem = rem.overflowing_add(U256::ONE).0;
+            }
+            if rem >= m {
+                rem = rem.overflowing_sub(m).0;
+            }
+        }
+        rem
+    }
+
+    /// Draws a uniformly distributed value in `[1, m)` by rejection
+    /// sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m <= 1`.
+    pub fn random_below<R: Rng + ?Sized>(rng: &mut R, m: U256) -> U256 {
+        assert!(m > U256::ONE, "modulus must exceed 1");
+        loop {
+            let candidate = U256([rng.gen(), rng.gen(), rng.gen(), rng.gen()]);
+            if !candidate.is_zero() && candidate < m {
+                return candidate;
+            }
+            // For the moduli used here (>= 2^255 - 19) the accept
+            // probability per draw is ~50%, so this terminates quickly.
+        }
+    }
+}
+
+impl PartialOrd for U256 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for U256 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        for i in (0..4).rev() {
+            match self.0[i].cmp(&other.0[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+}
+
+impl fmt::Debug for U256 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "U256(0x{:016x}{:016x}{:016x}{:016x})",
+            self.0[3], self.0[2], self.0[1], self.0[0]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn u(v: u128) -> U256 {
+        U256::from_u128(v)
+    }
+
+    #[test]
+    fn add_sub_roundtrip_small() {
+        let a = u(12345);
+        let b = u(67890);
+        let (sum, c) = a.overflowing_add(b);
+        assert!(!c);
+        assert_eq!(sum, u(12345 + 67890));
+        let (diff, bo) = sum.overflowing_sub(b);
+        assert!(!bo);
+        assert_eq!(diff, a);
+    }
+
+    #[test]
+    fn add_carries_across_limbs() {
+        let a = U256([u64::MAX, 0, 0, 0]);
+        let (sum, c) = a.overflowing_add(U256::ONE);
+        assert!(!c);
+        assert_eq!(sum, U256([0, 1, 0, 0]));
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        let max = U256([u64::MAX; 4]);
+        let (sum, c) = max.overflowing_add(U256::ONE);
+        assert!(c);
+        assert_eq!(sum, U256::ZERO);
+    }
+
+    #[test]
+    fn mulmod_small_values() {
+        let m = u(1_000_003);
+        assert_eq!(u(1234).mulmod(u(5678), m), u(1234 * 5678 % 1_000_003));
+        assert_eq!(u(999_999).mulmod(u(999_999), m), {
+            let v = 999_999u128 * 999_999 % 1_000_003;
+            u(v)
+        });
+    }
+
+    #[test]
+    fn powmod_small_values() {
+        let m = u(1_000_003);
+        // 7^20 mod 1000003, computed independently.
+        let mut expect = 1u128;
+        for _ in 0..20 {
+            expect = expect * 7 % 1_000_003;
+        }
+        assert_eq!(u(7).powmod(u(20), m), u(expect));
+    }
+
+    #[test]
+    fn powmod_fermat_little_theorem() {
+        // p = 2^61 - 1 is prime; a^(p-1) = 1 mod p for a not divisible by p.
+        let p = u((1u128 << 61) - 1);
+        let pm1 = u((1u128 << 61) - 2);
+        for a in [2u128, 3, 65537, 123_456_789] {
+            assert_eq!(u(a).powmod(pm1, p), U256::ONE, "a = {a}");
+        }
+    }
+
+    #[test]
+    fn reduce_mod_matches_u128() {
+        let m = u(0xffff_ffff_ffff);
+        let v = u(u128::MAX - 5);
+        assert_eq!(v.reduce_mod(m), u((u128::MAX - 5) % 0xffff_ffff_ffff));
+    }
+
+    #[test]
+    fn be_bytes_roundtrip() {
+        let v = U256([1, 2, 3, 4]);
+        assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        let bytes = v.to_be_bytes();
+        // Limb 3 is the most significant, stored first.
+        assert_eq!(&bytes[..8], &4u64.to_be_bytes());
+        assert_eq!(&bytes[24..], &1u64.to_be_bytes());
+    }
+
+    #[test]
+    fn ordering_is_big_endian_on_limbs() {
+        assert!(U256([0, 0, 0, 1]) > U256([u64::MAX, u64::MAX, u64::MAX, 0]));
+        assert!(U256::ZERO < U256::ONE);
+    }
+
+    #[test]
+    fn random_below_is_in_range() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let m = crate::sign::group::P;
+        for _ in 0..32 {
+            let v = U256::random_below(&mut rng, m);
+            assert!(!v.is_zero() && v < m);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_addmod_matches_u128(a in 0u128..1_000_000_007, b in 0u128..1_000_000_007) {
+            let m = u(1_000_000_007);
+            prop_assert_eq!(u(a).addmod(u(b), m), u((a + b) % 1_000_000_007));
+        }
+
+        #[test]
+        fn prop_submod_matches_u128(a in 0u128..1_000_000_007, b in 0u128..1_000_000_007) {
+            let m = u(1_000_000_007);
+            let expect = (a + 1_000_000_007 - b) % 1_000_000_007;
+            prop_assert_eq!(u(a).submod(u(b), m), u(expect));
+        }
+
+        #[test]
+        fn prop_mulmod_matches_u128(a in 0u128..(1u128 << 60), b in 0u128..(1u128 << 60)) {
+            let m = u(1u128 << 61);
+            let am = a % (1u128 << 61);
+            let bm = b % (1u128 << 61);
+            prop_assert_eq!(u(am).mulmod(u(bm), m), u(am.wrapping_mul(bm) % (1u128 << 61)));
+        }
+
+        #[test]
+        fn prop_mulmod_commutative(a_limbs: [u64; 4], b_limbs: [u64; 4]) {
+            let m = crate::sign::group::P;
+            let a = U256(a_limbs).reduce_mod(m);
+            let b = U256(b_limbs).reduce_mod(m);
+            prop_assert_eq!(a.mulmod(b, m), b.mulmod(a, m));
+        }
+
+        #[test]
+        fn prop_powmod_addition_of_exponents(a_limbs: [u64; 4], e1 in 0u128..10_000, e2 in 0u128..10_000) {
+            let m = crate::sign::group::P;
+            let a = U256(a_limbs).reduce_mod(m);
+            prop_assume!(!a.is_zero());
+            let left = a.powmod(u(e1 + e2), m);
+            let right = a.powmod(u(e1), m).mulmod(a.powmod(u(e2), m), m);
+            prop_assert_eq!(left, right);
+        }
+
+        #[test]
+        fn prop_be_bytes_roundtrip(limbs: [u64; 4]) {
+            let v = U256(limbs);
+            prop_assert_eq!(U256::from_be_bytes(v.to_be_bytes()), v);
+        }
+    }
+}

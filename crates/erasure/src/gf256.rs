@@ -1,0 +1,178 @@
+//! Arithmetic in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1 (0x11b),
+//! implemented with log/antilog tables built at construction time.
+
+/// The field GF(256).
+///
+/// # Examples
+///
+/// ```
+/// use past_erasure::Gf256;
+///
+/// let gf = Gf256::new();
+/// let a = 0x57;
+/// let b = 0x83;
+/// assert_eq!(gf.mul(a, b), 0xc1);
+/// assert_eq!(gf.mul(gf.inv(a), a), 1);
+/// ```
+#[derive(Clone)]
+pub struct Gf256 {
+    log: [u8; 256],
+    exp: [u8; 512],
+}
+
+impl Default for Gf256 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gf256 {
+    /// Builds the log/antilog tables using generator 3 (a primitive
+    /// element for 0x11b).
+    pub fn new() -> Self {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for i in 0..255u16 {
+            exp[i as usize] = x as u8;
+            log[x as usize] = i as u8;
+            // Multiply x by the generator 3 = x + 1: x*3 = (x<<1) ^ x.
+            x = (x << 1) ^ x;
+            if x & 0x100 != 0 {
+                x ^= 0x11b;
+            }
+        }
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        Gf256 { log, exp }
+    }
+
+    /// Addition (and subtraction): XOR.
+    #[inline]
+    pub fn add(&self, a: u8, b: u8) -> u8 {
+        a ^ b
+    }
+
+    /// Multiplication.
+    #[inline]
+    pub fn mul(&self, a: u8, b: u8) -> u8 {
+        if a == 0 || b == 0 {
+            0
+        } else {
+            self.exp[self.log[a as usize] as usize + self.log[b as usize] as usize]
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero (which has no inverse).
+    #[inline]
+    pub fn inv(&self, a: u8) -> u8 {
+        assert!(a != 0, "zero has no inverse in GF(256)");
+        self.exp[255 - self.log[a as usize] as usize]
+    }
+
+    /// Division a/b.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `b` is zero.
+    #[inline]
+    pub fn div(&self, a: u8, b: u8) -> u8 {
+        assert!(b != 0, "division by zero in GF(256)");
+        if a == 0 {
+            0
+        } else {
+            self.exp[255 + self.log[a as usize] as usize - self.log[b as usize] as usize]
+        }
+    }
+
+    /// a^n for non-negative n.
+    pub fn pow(&self, a: u8, n: u32) -> u8 {
+        if n == 0 {
+            return 1;
+        }
+        if a == 0 {
+            return 0;
+        }
+        let e = (self.log[a as usize] as u32 * n) % 255;
+        self.exp[e as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_product() {
+        // The classic AES example: 0x57 * 0x83 = 0xc1.
+        let gf = Gf256::new();
+        assert_eq!(gf.mul(0x57, 0x83), 0xc1);
+    }
+
+    #[test]
+    fn identities() {
+        let gf = Gf256::new();
+        for a in 0..=255u8 {
+            assert_eq!(gf.mul(a, 1), a);
+            assert_eq!(gf.mul(a, 0), 0);
+            assert_eq!(gf.add(a, a), 0);
+            if a != 0 {
+                assert_eq!(gf.mul(a, gf.inv(a)), 1);
+                assert_eq!(gf.div(a, a), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_is_commutative_and_associative() {
+        let gf = Gf256::new();
+        for a in (0..=255u8).step_by(17) {
+            for b in (0..=255u8).step_by(13) {
+                assert_eq!(gf.mul(a, b), gf.mul(b, a));
+                for c in (0..=255u8).step_by(29) {
+                    assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distributive_law() {
+        let gf = Gf256::new();
+        for a in (0..=255u8).step_by(7) {
+            for b in (0..=255u8).step_by(11) {
+                for c in (0..=255u8).step_by(23) {
+                    assert_eq!(
+                        gf.mul(a, gf.add(b, c)),
+                        gf.add(gf.mul(a, b), gf.mul(a, c))
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let gf = Gf256::new();
+        for a in [2u8, 3, 29, 200] {
+            let mut acc = 1u8;
+            for n in 0..20 {
+                assert_eq!(gf.pow(a, n), acc, "a={a} n={n}");
+                acc = gf.mul(acc, a);
+            }
+        }
+        assert_eq!(gf.pow(0, 0), 1);
+        assert_eq!(gf.pow(0, 5), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_inverse_panics() {
+        Gf256::new().inv(0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Reed–Solomon erasure coding over GF(256) — the storage-efficiency
+//! extension PAST's §3.6 proposes as future work.
+//!
+//! Storing k complete copies of a file costs k× the file size; a
+//! systematic Reed–Solomon code with n data and m checksum shards
+//! tolerates the same m losses at only (n+m)/n× ([`ReedSolomon`]).
+//! The implementation is built from scratch: [`Gf256`] table-driven
+//! field arithmetic and Gauss–Jordan matrix inversion over the field.
+
+mod gf256;
+mod matrix;
+mod rs;
+
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use rs::{ReedSolomon, RsError};

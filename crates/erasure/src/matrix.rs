@@ -1,0 +1,200 @@
+//! Dense matrices over GF(256) with Gaussian elimination.
+
+use crate::gf256::Gf256;
+
+/// A row-major matrix over GF(256).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u8>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0; rows * cols],
+        }
+    }
+
+    /// Creates an identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, 1);
+        }
+        m
+    }
+
+    /// Builds a Vandermonde matrix whose row `r` is
+    /// [1, e_r, e_r², …] for the element e_r = r (as a field element).
+    /// Any square submatrix formed from distinct rows is invertible.
+    pub fn vandermonde(rows: usize, cols: usize, gf: &Gf256) -> Self {
+        assert!(rows <= 256, "at most 256 distinct evaluation points");
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, gf.pow(r as u8, c as u32));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> u8 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element mutator.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: u8) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Returns row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[u8] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self × rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn mul(&self, rhs: &Matrix, gf: &Gf256) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = 0u8;
+                for k in 0..self.cols {
+                    acc ^= gf.mul(self.get(r, k), rhs.get(k, c));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Builds a matrix from selected rows of `self`.
+    pub fn select_rows(&self, rows: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(rows.len(), self.cols);
+        for (i, &r) in rows.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(i, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination. Returns
+    /// `None` if singular.
+    pub fn inverted(&self, gf: &Gf256) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut a = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| a.get(r, col) != 0)?;
+            if pivot != col {
+                a.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let p = a.get(col, col);
+            let p_inv = gf.inv(p);
+            for c in 0..n {
+                a.set(col, c, gf.mul(a.get(col, c), p_inv));
+                inv.set(col, c, gf.mul(inv.get(col, c), p_inv));
+            }
+            // Eliminate the column elsewhere.
+            for r in 0..n {
+                if r == col {
+                    continue;
+                }
+                let f = a.get(r, col);
+                if f == 0 {
+                    continue;
+                }
+                for c in 0..n {
+                    let av = gf.mul(f, a.get(col, c));
+                    a.set(r, c, a.get(r, c) ^ av);
+                    let iv = gf.mul(f, inv.get(col, c));
+                    inv.set(r, c, inv.get(r, c) ^ iv);
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        if a == b {
+            return;
+        }
+        for c in 0..self.cols {
+            let tmp = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let gf = Gf256::new();
+        let v = Matrix::vandermonde(4, 4, &gf);
+        let i = Matrix::identity(4);
+        assert_eq!(v.mul(&i, &gf), v);
+        assert_eq!(i.mul(&v, &gf), v);
+    }
+
+    #[test]
+    fn vandermonde_square_inverts() {
+        let gf = Gf256::new();
+        for n in [1usize, 2, 3, 5, 8] {
+            let v = Matrix::vandermonde(n, n, &gf);
+            let inv = v.inverted(&gf).expect("Vandermonde is invertible");
+            assert_eq!(v.mul(&inv, &gf), Matrix::identity(n), "n = {n}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let gf = Gf256::new();
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, 1);
+        m.set(0, 1, 2);
+        m.set(1, 0, 1);
+        m.set(1, 1, 2);
+        assert!(m.inverted(&gf).is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_rows() {
+        let gf = Gf256::new();
+        let v = Matrix::vandermonde(5, 3, &gf);
+        let s = v.select_rows(&[4, 1]);
+        assert_eq!(s.rows(), 2);
+        assert_eq!(s.row(0), v.row(4));
+        assert_eq!(s.row(1), v.row(1));
+    }
+}

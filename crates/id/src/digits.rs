@@ -1,0 +1,71 @@
+//! Base-2^b digit utilities shared by node and file identifiers.
+//!
+//! Pastry interprets identifiers as strings of digits with base 2^b
+//! (b is a configuration parameter with typical value 4). Each routing
+//! step resolves at least one more digit of the destination key.
+
+/// Namespace for digit-base helpers.
+pub struct Digits;
+
+impl Digits {
+    /// Valid digit bases: b must be in 1..=8 and divide 128 so that an id
+    /// decomposes into a whole number of digits.
+    pub const VALID_BASES: [u32; 4] = [1, 2, 4, 8];
+
+    /// Panics unless `b` is a supported digit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is not one of 1, 2, 4, 8.
+    pub fn check_base(b: u32) {
+        assert!(
+            Self::VALID_BASES.contains(&b),
+            "digit base b={b} unsupported (must be one of {:?})",
+            Self::VALID_BASES
+        );
+    }
+
+    /// Number of distinct digit values for width `b` (i.e. 2^b).
+    pub fn radix(b: u32) -> u32 {
+        Self::check_base(b);
+        1 << b
+    }
+
+    /// Number of routing-table columns per row: 2^b − 1 (one per digit
+    /// value other than the node's own digit at that row).
+    pub fn columns(b: u32) -> u32 {
+        Self::radix(b) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn radix_values() {
+        assert_eq!(Digits::radix(1), 2);
+        assert_eq!(Digits::radix(2), 4);
+        assert_eq!(Digits::radix(4), 16);
+        assert_eq!(Digits::radix(8), 256);
+    }
+
+    #[test]
+    fn columns_is_radix_minus_one() {
+        for b in Digits::VALID_BASES {
+            assert_eq!(Digits::columns(b), Digits::radix(b) - 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn base_zero_rejected() {
+        Digits::check_base(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn base_three_rejected() {
+        Digits::check_base(3);
+    }
+}

@@ -1,0 +1,122 @@
+//! The 160-bit file identifier.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::node_id::NodeId;
+
+/// Number of bytes in a [`FileId`] (160 bits, the width of a SHA-1 digest).
+pub const FILE_ID_BYTES: usize = 20;
+
+/// A quasi-unique 160-bit file identifier.
+///
+/// PAST computes the fileId as the SHA-1 hash of the file's textual name,
+/// the owner's public key, and a randomly chosen salt (the salt is re-drawn
+/// on *file diversion*, which re-routes an insert to a different part of
+/// the namespace). Files are immutable: a file cannot be inserted twice
+/// under the same fileId.
+///
+/// Only the 128 most significant bits participate in routing; they form
+/// the [`NodeId`]-typed key returned by [`FileId::as_key`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FileId([u8; FILE_ID_BYTES]);
+
+impl FileId {
+    /// Creates a file identifier from 20 big-endian bytes.
+    pub const fn from_bytes(bytes: [u8; FILE_ID_BYTES]) -> Self {
+        FileId(bytes)
+    }
+
+    /// Returns the identifier's bytes.
+    pub const fn as_bytes(&self) -> &[u8; FILE_ID_BYTES] {
+        &self.0
+    }
+
+    /// Returns the 128 most significant bits as the routing key.
+    ///
+    /// PAST's storage invariant is defined on this key: the file's `k`
+    /// replicas live on the `k` nodes whose nodeIds are numerically
+    /// closest to it.
+    pub fn as_key(&self) -> NodeId {
+        let mut msb = [0u8; 16];
+        msb.copy_from_slice(&self.0[..16]);
+        NodeId::from_bytes(msb)
+    }
+
+    /// Builds a file id whose 128 msbs equal `key` and whose low 32 bits
+    /// are `suffix`; handy for tests that need a file targeting an exact
+    /// region of the namespace.
+    pub fn from_key(key: NodeId, suffix: u32) -> Self {
+        let mut bytes = [0u8; FILE_ID_BYTES];
+        bytes[..16].copy_from_slice(&key.to_bytes());
+        bytes[16..].copy_from_slice(&suffix.to_be_bytes());
+        FileId(bytes)
+    }
+}
+
+impl fmt::Debug for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FileId(")?;
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for FileId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn key_takes_high_128_bits() {
+        let mut bytes = [0u8; FILE_ID_BYTES];
+        bytes[0] = 0xab;
+        bytes[15] = 0xcd;
+        bytes[16] = 0xff; // Must not influence the key.
+        let id = FileId::from_bytes(bytes);
+        let key = id.as_key();
+        assert_eq!(key.to_bytes()[0], 0xab);
+        assert_eq!(key.to_bytes()[15], 0xcd);
+    }
+
+    #[test]
+    fn from_key_roundtrips() {
+        let key = NodeId::from_u128(0xdead_beef);
+        let id = FileId::from_key(key, 7);
+        assert_eq!(id.as_key(), key);
+        assert_eq!(&id.as_bytes()[16..], &7u32.to_be_bytes());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let id = FileId::from_bytes([0u8; FILE_ID_BYTES]);
+        assert_eq!(id.to_string().len(), 40);
+        assert!(id.to_string().chars().all(|c| c == '0'));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_from_key_preserves_key(raw: u128, suffix: u32) {
+            let key = NodeId::from_u128(raw);
+            prop_assert_eq!(FileId::from_key(key, suffix).as_key(), key);
+        }
+
+        #[test]
+        fn prop_byte_roundtrip(bytes: [u8; FILE_ID_BYTES]) {
+            let id = FileId::from_bytes(bytes);
+            prop_assert_eq!(id.as_bytes(), &bytes);
+        }
+    }
+}

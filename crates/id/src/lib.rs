@@ -1,0 +1,38 @@
+//! Identifier arithmetic for the PAST/Pastry reproduction.
+//!
+//! PAST (Rowstron & Druschel, SOSP 2001) assigns every storage node a
+//! 128-bit *nodeId* and every file a 160-bit *fileId*. NodeIds live on a
+//! circular namespace ranging from 0 to 2^128 − 1; a file is stored on the
+//! `k` nodes whose nodeIds are numerically closest to the 128 most
+//! significant bits of its fileId.
+//!
+//! This crate provides:
+//!
+//! - [`NodeId`]: a point on the 128-bit circular namespace, with ring
+//!   distance, numerical-closeness comparison, and base-2^b digit access
+//!   (Pastry routes by resolving one base-2^b digit per hop).
+//! - [`FileId`]: a 160-bit file identifier, convertible to the [`NodeId`]
+//!   key formed from its 128 most significant bits.
+//! - [`Digits`]: helpers for base-2^b digit manipulation shared by both.
+//!
+//! # Examples
+//!
+//! ```
+//! use past_id::NodeId;
+//!
+//! let a = NodeId::from_u128(0x1000);
+//! let b = NodeId::from_u128(0x1008);
+//! assert_eq!(a.ring_distance(b), 8);
+//! // With b = 4 (hex digits), the two ids share 31 of their 32 digits.
+//! assert_eq!(a.shared_prefix_digits(b, 4), 31);
+//! ```
+
+mod digits;
+mod file_id;
+mod node_id;
+mod ring;
+
+pub use digits::Digits;
+pub use file_id::{FileId, FILE_ID_BYTES};
+pub use node_id::{NodeId, NODE_ID_BITS, NODE_ID_BYTES};
+pub use ring::{ccw_distance, cw_distance, ring_distance, RingOrd};

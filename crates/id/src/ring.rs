@@ -1,0 +1,95 @@
+//! Distance helpers on the circular 128-bit namespace.
+
+/// Clockwise distance from `a` to `b`: how far one must travel in the
+/// direction of increasing identifiers (wrapping at 2^128) to reach `b`.
+pub fn cw_distance(a: u128, b: u128) -> u128 {
+    b.wrapping_sub(a)
+}
+
+/// Counter-clockwise distance from `a` to `b`.
+pub fn ccw_distance(a: u128, b: u128) -> u128 {
+    a.wrapping_sub(b)
+}
+
+/// Absolute ring distance: the shorter of the two ways around.
+pub fn ring_distance(a: u128, b: u128) -> u128 {
+    let cw = cw_distance(a, b);
+    let ccw = ccw_distance(a, b);
+    cw.min(ccw)
+}
+
+/// Total order on ids by their distance to a fixed key, tie-broken by the
+/// raw id value.
+///
+/// Sorting a slice of ids with [`RingOrd::cmp_by_distance`] puts the
+/// numerically closest id to `key` first — exactly the order in which PAST
+/// selects the `k` replica holders for a file.
+#[derive(Clone, Copy, Debug)]
+pub struct RingOrd {
+    key: u128,
+}
+
+impl RingOrd {
+    /// Creates an ordering centered on `key`.
+    pub fn new(key: u128) -> Self {
+        RingOrd { key }
+    }
+
+    /// Compares two ids by distance to the key.
+    pub fn cmp_by_distance(&self, a: u128, b: u128) -> std::cmp::Ordering {
+        let da = ring_distance(a, self.key);
+        let db = ring_distance(b, self.key);
+        da.cmp(&db).then(a.cmp(&b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn cw_distance_simple() {
+        assert_eq!(cw_distance(3, 10), 7);
+        assert_eq!(cw_distance(10, 3), u128::MAX - 6);
+    }
+
+    #[test]
+    fn ring_ord_sorts_by_closeness() {
+        let ord = RingOrd::new(100);
+        let mut ids = vec![0u128, 90, 105, 100, 250];
+        ids.sort_by(|a, b| ord.cmp_by_distance(*a, *b));
+        assert_eq!(ids, vec![100, 105, 90, 0, 250]);
+    }
+
+    #[test]
+    fn ring_ord_wraps() {
+        let ord = RingOrd::new(u128::MAX);
+        let mut ids = vec![0u128, u128::MAX - 3, 5];
+        ids.sort_by(|a, b| ord.cmp_by_distance(*a, *b));
+        assert_eq!(ids, vec![0, u128::MAX - 3, 5]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_ring_ord_is_total(key: u128, mut ids: Vec<u128>) {
+            let ord = RingOrd::new(key);
+            ids.sort_by(|a, b| ord.cmp_by_distance(*a, *b));
+            for w in ids.windows(2) {
+                let d0 = ring_distance(w[0], key);
+                let d1 = ring_distance(w[1], key);
+                prop_assert!(d0 < d1 || (d0 == d1 && w[0] <= w[1]));
+            }
+        }
+
+        #[test]
+        fn prop_triangle_inequality(a: u128, b: u128, c: u128) {
+            // Ring distance is a metric on the circle.
+            let ab = ring_distance(a, b);
+            let bc = ring_distance(b, c);
+            let ac = ring_distance(a, c);
+            // Use saturating add: distances are < 2^127 so no overflow in u128.
+            prop_assert!(ac <= ab.saturating_add(bc));
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Network addresses for emulated nodes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The emulated-network address of a node (stands in for an IP address).
+///
+/// Addresses are dense small integers so that topologies can store
+/// coordinates in flat arrays.
+#[derive(
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+)]
+pub struct Addr(pub u32);
+
+impl Addr {
+    /// Returns the address as an array index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for Addr {
+    fn from(v: u32) -> Self {
+        Addr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_index() {
+        assert_eq!(Addr(7).to_string(), "n7");
+        assert_eq!(Addr(7).index(), 7);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic discrete-event network emulation for the PAST
+//! reproduction.
+//!
+//! The PAST prototype (§5 of the paper) ran its experiments with up to
+//! 2250 nodes inside a single process, communicating through a network
+//! emulation environment. This crate provides that substrate:
+//!
+//! - [`Simulator`]: an event-queue simulator driving per-node
+//!   [`Protocol`] state machines with messages and timers, fully
+//!   deterministic for a given seed.
+//! - [`Topology`] implementations supplying the scalar *proximity metric*
+//!   that Pastry's locality heuristics depend on, and per-message latency:
+//!   [`EuclideanTopology`], [`ClusteredTopology`] (the eight-site NLANR
+//!   layout of §5.2) and [`UniformTopology`].
+//! - [`SimTime`]/[`SimDuration`] and [`Addr`] vocabulary types.
+
+mod addr;
+mod sim;
+mod time;
+mod topology;
+
+pub use addr::Addr;
+pub use sim::{Ctx, NetStats, Protocol, Simulator};
+pub use time::{SimDuration, SimTime};
+pub use topology::{ClusteredTopology, EuclideanTopology, Topology, UniformTopology};

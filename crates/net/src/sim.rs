@@ -1,0 +1,645 @@
+//! The discrete-event simulator core.
+//!
+//! The paper's prototype ran up to 2250 PAST nodes inside a single Java VM
+//! communicating through a network emulation layer. This module is the
+//! Rust equivalent: every node is a deterministic state machine driven by
+//! delivered messages and timers; an event queue orders all activity by
+//! simulated time with a strict total order (time, then sequence number),
+//! so any experiment is exactly reproducible from its seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::Addr;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// A protocol instance running on one emulated node.
+///
+/// Handlers receive a [`Ctx`] for sending messages, arming timers,
+/// querying the proximity metric and emitting *upcalls* (protocol-level
+/// events that the experiment harness collects, e.g. "insert completed").
+pub trait Protocol: Sized {
+    /// Message type exchanged between nodes.
+    type Msg;
+    /// Harness-visible event type.
+    type Upcall;
+
+    /// Invoked once when the node is added to the network (and again on
+    /// recovery unless [`Protocol::on_recover`] is overridden).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, from: Addr, msg: Self::Msg);
+
+    /// Invoked when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Invoked when a previously failed node comes back online.
+    /// Defaults to [`Protocol::on_start`].
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
+        self.on_start(ctx);
+    }
+}
+
+/// Handler context: the API a protocol uses to interact with the network.
+pub struct Ctx<'a, M, U> {
+    now: SimTime,
+    self_addr: Addr,
+    topology: &'a dyn Topology,
+    rng: &'a mut StdRng,
+    out: &'a mut Vec<Output<M, U>>,
+}
+
+enum Output<M, U> {
+    Send { dst: Addr, msg: M },
+    Timer { delay: SimDuration, token: u64 },
+    Upcall(U),
+}
+
+impl<'a, M, U> Ctx<'a, M, U> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Addr {
+        self.self_addr
+    }
+
+    /// Sends `msg` to `dst`; it arrives after the topology's latency.
+    pub fn send(&mut self, dst: Addr, msg: M) {
+        self.out.push(Output::Send { dst, msg });
+    }
+
+    /// Arms a timer that fires after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.out.push(Output::Timer { delay, token });
+    }
+
+    /// Emits a harness-visible event.
+    pub fn emit(&mut self, upcall: U) {
+        self.out.push(Output::Upcall(upcall));
+    }
+
+    /// Scalar proximity between this node and `other` (e.g. an RTT probe).
+    pub fn proximity(&self, other: Addr) -> f64 {
+        self.topology.distance(self.self_addr, other)
+    }
+
+    /// Scalar proximity between two arbitrary nodes. Real deployments
+    /// estimate this with probes; the emulation exposes the metric
+    /// directly, as the paper's emulation environment does.
+    pub fn proximity_between(&self, a: Addr, b: Addr) -> f64 {
+        self.topology.distance(a, b)
+    }
+
+    /// Deterministic per-simulation RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+#[derive(Debug)]
+enum EventKind<M> {
+    Deliver { src: Addr, dst: Addr, msg: M },
+    Timer { node: Addr, token: u64 },
+}
+
+struct Event<M> {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+struct NodeSlot<P> {
+    proto: Option<P>,
+    up: bool,
+}
+
+/// Counters describing network-level activity.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Messages delivered to a live node.
+    pub delivered: u64,
+    /// Messages dropped (dead/absent destination or injected loss).
+    pub dropped: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Events processed in total.
+    pub events: u64,
+}
+
+/// The discrete-event network simulator.
+///
+/// # Examples
+///
+/// ```
+/// use past_net::{Addr, Ctx, Protocol, SimDuration, Simulator, UniformTopology};
+///
+/// struct Echo;
+/// impl Protocol for Echo {
+///     type Msg = u32;
+///     type Upcall = u32;
+///     fn on_message(&mut self, ctx: &mut Ctx<'_, u32, u32>, from: Addr, msg: u32) {
+///         if msg > 0 {
+///             ctx.send(from, msg - 1);
+///         } else {
+///             ctx.emit(0);
+///         }
+///     }
+/// }
+///
+/// let topo = UniformTopology::new(2, SimDuration::from_millis(1));
+/// let mut sim = Simulator::new(Box::new(topo), 42);
+/// sim.add_node(Addr(0), Echo);
+/// sim.add_node(Addr(1), Echo);
+/// sim.invoke(Addr(0), |_echo, ctx| ctx.send(Addr(1), 5));
+/// sim.run_until_idle();
+/// assert_eq!(sim.drain_upcalls().len(), 1);
+/// ```
+pub struct Simulator<P: Protocol> {
+    nodes: Vec<NodeSlot<P>>,
+    queue: BinaryHeap<Event<P::Msg>>,
+    topology: Box<dyn Topology>,
+    time: SimTime,
+    seq: u64,
+    rng: StdRng,
+    loss_probability: f64,
+    stats: NetStats,
+    upcalls: Vec<(SimTime, Addr, P::Upcall)>,
+    scratch: Vec<Output<P::Msg, P::Upcall>>,
+}
+
+impl<P: Protocol> Simulator<P> {
+    /// Creates an empty simulator over `topology`, seeded for determinism.
+    pub fn new(topology: Box<dyn Topology>, seed: u64) -> Self {
+        Simulator {
+            nodes: Vec::new(),
+            queue: BinaryHeap::new(),
+            topology,
+            time: SimTime::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            loss_probability: 0.0,
+            stats: NetStats::default(),
+            upcalls: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Sets an i.i.d. message-loss probability (0 disables loss).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss_probability = p;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.time
+    }
+
+    /// Network statistics so far.
+    pub fn stats(&self) -> NetStats {
+        self.stats
+    }
+
+    /// The topology in use.
+    pub fn topology(&self) -> &dyn Topology {
+        &*self.topology
+    }
+
+    /// Adds a node and runs its `on_start` handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address exceeds the topology capacity or is occupied.
+    pub fn add_node(&mut self, addr: Addr, proto: P) {
+        assert!(
+            addr.index() < self.topology.capacity(),
+            "address {addr} outside topology capacity {}",
+            self.topology.capacity()
+        );
+        if self.nodes.len() <= addr.index() {
+            self.nodes.resize_with(addr.index() + 1, || NodeSlot {
+                proto: None,
+                up: false,
+            });
+        }
+        let slot = &mut self.nodes[addr.index()];
+        assert!(slot.proto.is_none(), "address {addr} already occupied");
+        slot.proto = Some(proto);
+        slot.up = true;
+        self.dispatch(addr, |p, ctx| p.on_start(ctx));
+    }
+
+    /// Returns whether `addr` hosts a live node.
+    pub fn is_up(&self, addr: Addr) -> bool {
+        self.nodes
+            .get(addr.index())
+            .map(|s| s.proto.is_some() && s.up)
+            .unwrap_or(false)
+    }
+
+    /// Immutable access to a node's protocol state.
+    pub fn node(&self, addr: Addr) -> Option<&P> {
+        self.nodes.get(addr.index()).and_then(|s| s.proto.as_ref())
+    }
+
+    /// Mutable access to a node's protocol state (bypasses the network —
+    /// intended for harness inspection and test setup).
+    pub fn node_mut(&mut self, addr: Addr) -> Option<&mut P> {
+        self.nodes
+            .get_mut(addr.index())
+            .and_then(|s| s.proto.as_mut())
+    }
+
+    /// Iterates over all live node addresses.
+    pub fn live_addrs(&self) -> impl Iterator<Item = Addr> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.proto.is_some() && s.up)
+            .map(|(i, _)| Addr(i as u32))
+    }
+
+    /// Marks a node as failed: pending and future messages/timers for it
+    /// are dropped, but its state (disk contents) is retained.
+    pub fn fail_node(&mut self, addr: Addr) {
+        if let Some(slot) = self.nodes.get_mut(addr.index()) {
+            slot.up = false;
+        }
+    }
+
+    /// Brings a failed node back online and runs its `on_recover` handler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no node state exists at `addr`.
+    pub fn recover_node(&mut self, addr: Addr) {
+        let slot = self
+            .nodes
+            .get_mut(addr.index())
+            .expect("no node at address");
+        assert!(slot.proto.is_some(), "no node state at {addr}");
+        slot.up = true;
+        self.dispatch(addr, |p, ctx| p.on_recover(ctx));
+    }
+
+    /// Permanently removes a node, dropping its state. Returns the state.
+    pub fn remove_node(&mut self, addr: Addr) -> Option<P> {
+        self.nodes.get_mut(addr.index()).and_then(|s| {
+            s.up = false;
+            s.proto.take()
+        })
+    }
+
+    /// Runs `f` against a live node immediately (at the current simulated
+    /// time), flushing any sends/timers/upcalls it produces. This is how a
+    /// harness injects client operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node is absent or down.
+    pub fn invoke<F>(&mut self, addr: Addr, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Upcall>),
+    {
+        assert!(self.is_up(addr), "invoke on absent/down node {addr}");
+        self.dispatch(addr, f);
+    }
+
+    /// Drains the collected upcalls.
+    pub fn drain_upcalls(&mut self) -> Vec<(SimTime, Addr, P::Upcall)> {
+        std::mem::take(&mut self.upcalls)
+    }
+
+    /// Processes a single event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let event = match self.queue.pop() {
+            Some(e) => e,
+            None => return false,
+        };
+        debug_assert!(event.at >= self.time, "time must be monotonic");
+        self.time = event.at;
+        self.stats.events += 1;
+        match event.kind {
+            EventKind::Deliver { src, dst, msg } => {
+                let lose =
+                    self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability;
+                if !self.is_up(dst) || lose {
+                    self.stats.dropped += 1;
+                } else {
+                    self.stats.delivered += 1;
+                    self.dispatch(dst, |p, ctx| p.on_message(ctx, src, msg));
+                }
+            }
+            EventKind::Timer { node, token } => {
+                if self.is_up(node) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
+                }
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue is empty.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; events at
+    /// exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(event) = self.queue.peek() {
+            if event.at > deadline {
+                break;
+            }
+            self.step();
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    /// Runs for `span` of simulated time from now.
+    pub fn run_for(&mut self, span: SimDuration) {
+        let deadline = self.time + span;
+        self.run_until(deadline);
+    }
+
+    /// Number of queued events (for harness diagnostics and back-pressure).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn dispatch<F>(&mut self, addr: Addr, f: F)
+    where
+        F: FnOnce(&mut P, &mut Ctx<'_, P::Msg, P::Upcall>),
+    {
+        let mut proto = match self
+            .nodes
+            .get_mut(addr.index())
+            .and_then(|s| s.proto.take())
+        {
+            Some(p) => p,
+            None => return,
+        };
+        let mut out = std::mem::take(&mut self.scratch);
+        {
+            let mut ctx = Ctx {
+                now: self.time,
+                self_addr: addr,
+                topology: &*self.topology,
+                rng: &mut self.rng,
+                out: &mut out,
+            };
+            f(&mut proto, &mut ctx);
+        }
+        self.nodes[addr.index()].proto = Some(proto);
+        for output in out.drain(..) {
+            match output {
+                Output::Send { dst, msg } => {
+                    let latency = self.topology.latency(addr, dst);
+                    self.seq += 1;
+                    self.queue.push(Event {
+                        at: self.time + latency,
+                        seq: self.seq,
+                        kind: EventKind::Deliver {
+                            src: addr,
+                            dst,
+                            msg,
+                        },
+                    });
+                }
+                Output::Timer { delay, token } => {
+                    self.seq += 1;
+                    self.queue.push(Event {
+                        at: self.time + delay,
+                        seq: self.seq,
+                        kind: EventKind::Timer { node: addr, token },
+                    });
+                }
+                Output::Upcall(u) => {
+                    self.upcalls.push((self.time, addr, u));
+                }
+            }
+        }
+        self.scratch = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::UniformTopology;
+
+    /// Test protocol: counts pings, echoes pongs, supports timers.
+    struct PingPong {
+        pings_seen: u32,
+        timer_tokens: Vec<u64>,
+    }
+
+    impl PingPong {
+        fn new() -> Self {
+            PingPong {
+                pings_seen: 0,
+                timer_tokens: Vec::new(),
+            }
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Msg {
+        Ping,
+        Pong,
+    }
+
+    impl Protocol for PingPong {
+        type Msg = Msg;
+        type Upcall = &'static str;
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, Msg, &'static str>, from: Addr, msg: Msg) {
+            match msg {
+                Msg::Ping => {
+                    self.pings_seen += 1;
+                    ctx.send(from, Msg::Pong);
+                }
+                Msg::Pong => ctx.emit("pong"),
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg, &'static str>, token: u64) {
+            self.timer_tokens.push(token);
+            ctx.emit("timer");
+        }
+    }
+
+    fn sim2() -> Simulator<PingPong> {
+        let topo = UniformTopology::new(4, SimDuration::from_millis(5));
+        let mut sim = Simulator::new(Box::new(topo), 1);
+        sim.add_node(Addr(0), PingPong::new());
+        sim.add_node(Addr(1), PingPong::new());
+        sim
+    }
+
+    #[test]
+    fn ping_pong_roundtrip() {
+        let mut sim = sim2();
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+        let ups = sim.drain_upcalls();
+        assert_eq!(ups.len(), 1);
+        assert_eq!(ups[0].1, Addr(0));
+        // Two 5 ms hops.
+        assert_eq!(ups[0].0, SimTime(10_000));
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        let mut sim = sim2();
+        sim.invoke(Addr(0), |_p, ctx| {
+            ctx.set_timer(SimDuration::from_millis(30), 3);
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            ctx.set_timer(SimDuration::from_millis(20), 2);
+        });
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(0)).unwrap().timer_tokens, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn messages_to_dead_nodes_dropped() {
+        let mut sim = sim2();
+        sim.fail_node(Addr(1));
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 0);
+    }
+
+    #[test]
+    fn failed_node_keeps_state_and_recovers() {
+        let mut sim = sim2();
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+        sim.fail_node(Addr(1));
+        assert!(!sim.is_up(Addr(1)));
+        sim.recover_node(Addr(1));
+        assert!(sim.is_up(Addr(1)));
+        // Disk state survived the failure.
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+    }
+
+    #[test]
+    fn timers_suppressed_while_down() {
+        let mut sim = sim2();
+        sim.invoke(Addr(1), |_p, ctx| ctx.set_timer(SimDuration::from_millis(1), 9));
+        sim.fail_node(Addr(1));
+        sim.run_until_idle();
+        assert!(sim.node(Addr(1)).unwrap().timer_tokens.is_empty());
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut sim = sim2();
+        sim.invoke(Addr(0), |_p, ctx| {
+            ctx.set_timer(SimDuration::from_millis(10), 1);
+            ctx.set_timer(SimDuration::from_millis(50), 2);
+        });
+        sim.run_until(SimTime(20_000));
+        assert_eq!(sim.node(Addr(0)).unwrap().timer_tokens, vec![1]);
+        assert_eq!(sim.now(), SimTime(20_000));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(0)).unwrap().timer_tokens, vec![1, 2]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let topo = UniformTopology::new(4, SimDuration::from_millis(5));
+            let mut sim: Simulator<PingPong> = Simulator::new(Box::new(topo), seed);
+            sim.add_node(Addr(0), PingPong::new());
+            sim.add_node(Addr(1), PingPong::new());
+            sim.set_loss_probability(0.5);
+            for _ in 0..32 {
+                sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+            }
+            sim.run_until_idle();
+            sim.node(Addr(1)).unwrap().pings_seen
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn loss_probability_drops_messages() {
+        let topo = UniformTopology::new(2, SimDuration::from_millis(1));
+        let mut sim: Simulator<PingPong> = Simulator::new(Box::new(topo), 11);
+        sim.add_node(Addr(0), PingPong::new());
+        sim.add_node(Addr(1), PingPong::new());
+        sim.set_loss_probability(1.0);
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().dropped, 1);
+        assert_eq!(sim.stats().delivered, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn double_occupancy_panics() {
+        let mut sim = sim2();
+        sim.add_node(Addr(0), PingPong::new());
+    }
+
+    #[test]
+    fn remove_node_returns_state() {
+        let mut sim = sim2();
+        let state = sim.remove_node(Addr(0)).unwrap();
+        assert_eq!(state.pings_seen, 0);
+        assert!(!sim.is_up(Addr(0)));
+        assert!(sim.remove_node(Addr(0)).is_none());
+    }
+
+    #[test]
+    fn live_addrs_lists_up_nodes() {
+        let mut sim = sim2();
+        sim.fail_node(Addr(0));
+        let live: Vec<Addr> = sim.live_addrs().collect();
+        assert_eq!(live, vec![Addr(1)]);
+    }
+}

@@ -1,0 +1,119 @@
+//! Pastry configuration parameters.
+
+use past_net::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Tunable Pastry parameters (paper §2.1).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PastryConfig {
+    /// Digit width in bits; ids are strings of base-2^b digits. Typical
+    /// value 4.
+    pub b: u32,
+    /// Leaf set size `l`: the l/2 numerically closest larger and l/2
+    /// closest smaller nodeIds. Typical value 32. Eventual delivery is
+    /// guaranteed unless ⌊l/2⌋ adjacent nodes fail simultaneously.
+    pub leaf_set_size: usize,
+    /// Neighborhood set size (the paper uses `l` here too): the nodes
+    /// closest to this node under the *proximity* metric, used to seed
+    /// routing state during join.
+    pub neighborhood_size: usize,
+    /// Period between keep-alive probes to leaf-set members. A zero
+    /// period disables keep-alives entirely (useful for static-network
+    /// experiments, where it lets the event queue drain).
+    pub keep_alive_period: SimDuration,
+    /// Unresponsive-node timeout `T`: after this long without hearing from
+    /// a leaf-set member, it is presumed failed.
+    pub failure_timeout: SimDuration,
+    /// Enables randomized routing: instead of always taking the best next
+    /// hop, occasionally take another admissible hop (one sharing at least
+    /// as long a prefix and numerically closer to the key). Defends
+    /// against malicious nodes that swallow messages on a fixed route.
+    pub randomized_routing: bool,
+    /// Probability of taking the best hop when randomizing ("heavily
+    /// biased towards the best choice to ensure low average route delay").
+    pub best_hop_bias: f64,
+    /// Per-hop acknowledgments for routed messages: the forwarding node
+    /// detects a dead next hop by timeout, removes it from its state
+    /// ("routing table entries that refer to failed nodes are repaired
+    /// lazily") and re-forwards around it. Costs one extra message and a
+    /// timer per hop; static-network experiments disable it.
+    pub per_hop_acks: bool,
+    /// How long a forwarding node waits for the next hop's receipt
+    /// acknowledgment before presuming it failed.
+    pub forward_ack_timeout: SimDuration,
+}
+
+impl Default for PastryConfig {
+    fn default() -> Self {
+        PastryConfig {
+            b: 4,
+            leaf_set_size: 32,
+            neighborhood_size: 32,
+            keep_alive_period: SimDuration::from_secs(30),
+            failure_timeout: SimDuration::from_secs(90),
+            randomized_routing: false,
+            best_hop_bias: 0.9,
+            per_hop_acks: false,
+            forward_ack_timeout: SimDuration::from_millis(500),
+        }
+    }
+}
+
+impl PastryConfig {
+    /// Validates invariants between parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is unsupported, the leaf set is not a non-zero even
+    /// size, or the bias is outside `[0, 1]`.
+    pub fn validate(&self) {
+        past_id::Digits::check_base(self.b);
+        assert!(
+            self.leaf_set_size >= 2 && self.leaf_set_size.is_multiple_of(2),
+            "leaf set size must be even and >= 2"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.best_hop_bias),
+            "best_hop_bias must be a probability"
+        );
+    }
+
+    /// Half the leaf set: entries kept on each side of the node.
+    pub fn leaf_half(&self) -> usize {
+        self.leaf_set_size / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_configuration() {
+        let c = PastryConfig::default();
+        c.validate();
+        assert_eq!(c.b, 4);
+        assert_eq!(c.leaf_set_size, 32);
+        assert_eq!(c.leaf_half(), 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn odd_leaf_set_rejected() {
+        PastryConfig {
+            leaf_set_size: 15,
+            ..Default::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_digit_base_rejected() {
+        PastryConfig {
+            b: 5,
+            ..Default::default()
+        }
+        .validate();
+    }
+}

@@ -1,0 +1,306 @@
+//! The prefix routing table.
+//!
+//! A node's routing table is organized into ⌈log_2^b N⌉ levels with
+//! 2^b − 1 entries each: the entries at level `n` refer to nodes whose
+//! nodeId shares the present node's id in the first `n` digits but
+//! differs in digit `n`. Among the potentially many candidate nodes per
+//! cell, Pastry keeps one that is *close to the present node according to
+//! the proximity metric* — the source of its locality properties.
+
+use past_id::{Digits, NodeId};
+use serde::{Deserialize, Serialize};
+
+use crate::leaf_set::NodeEntry;
+
+/// One routing-table cell: a known node plus its measured proximity.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RouteCell {
+    /// The referenced node.
+    pub entry: NodeEntry,
+    /// Proximity of that node to the table's owner (smaller = closer).
+    pub proximity: f64,
+}
+
+/// The routing table of one node.
+#[derive(Clone, Debug)]
+pub struct RoutingTable {
+    own: NodeId,
+    b: u32,
+    rows: Vec<Vec<Option<RouteCell>>>,
+}
+
+impl RoutingTable {
+    /// Creates an empty table for a node with identifier `own` and digit
+    /// width `b`.
+    pub fn new(own: NodeId, b: u32) -> Self {
+        Digits::check_base(b);
+        let row_count = NodeId::digit_count(b) as usize;
+        let cols = Digits::radix(b) as usize;
+        RoutingTable {
+            own,
+            b,
+            rows: vec![vec![None; cols]; row_count],
+        }
+    }
+
+    /// The owner's identifier.
+    pub fn own_id(&self) -> NodeId {
+        self.own
+    }
+
+    /// Digit width.
+    pub fn b(&self) -> u32 {
+        self.b
+    }
+
+    /// Number of rows (levels).
+    pub fn row_count(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns the cell that would route toward `key` from this node:
+    /// row = length of the common prefix of `own` and `key`, column =
+    /// `key`'s digit at that position. `None` if `key == own`.
+    pub fn cell_for(&self, key: NodeId) -> Option<&Option<RouteCell>> {
+        if key == self.own {
+            return None;
+        }
+        let row = self.own.shared_prefix_digits(key, self.b) as usize;
+        let col = key.digit(row as u32, self.b) as usize;
+        Some(&self.rows[row][col])
+    }
+
+    /// Looks up the entry at (row, col).
+    pub fn get(&self, row: usize, col: usize) -> Option<&RouteCell> {
+        self.rows[row][col].as_ref()
+    }
+
+    /// Considers `candidate` for inclusion. It is placed in the cell
+    /// determined by its id; an existing occupant is replaced only if the
+    /// candidate is strictly closer by proximity. Returns `true` if the
+    /// table changed.
+    pub fn consider(&mut self, candidate: NodeEntry, proximity: f64) -> bool {
+        if candidate.id == self.own {
+            return false;
+        }
+        let row = self.own.shared_prefix_digits(candidate.id, self.b) as usize;
+        let col = candidate.id.digit(row as u32, self.b) as usize;
+        let cell = &mut self.rows[row][col];
+        match cell {
+            None => {
+                *cell = Some(RouteCell {
+                    entry: candidate,
+                    proximity,
+                });
+                true
+            }
+            Some(existing) => {
+                if existing.entry.id == candidate.id {
+                    // Refresh the address/proximity of a known node.
+                    if existing.entry.addr != candidate.addr || existing.proximity != proximity {
+                        existing.entry = candidate;
+                        existing.proximity = proximity;
+                        return true;
+                    }
+                    false
+                } else if proximity < existing.proximity {
+                    *cell = Some(RouteCell {
+                        entry: candidate,
+                        proximity,
+                    });
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Removes a node (after it is presumed failed). Returns `true` if an
+    /// entry was removed.
+    pub fn remove(&mut self, id: NodeId) -> bool {
+        if id == self.own {
+            return false;
+        }
+        let row = self.own.shared_prefix_digits(id, self.b) as usize;
+        let col = id.digit(row as u32, self.b) as usize;
+        let cell = &mut self.rows[row][col];
+        if matches!(cell, Some(c) if c.entry.id == id) {
+            *cell = None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns row `n` of the table (cloned cells) — sent to joining
+    /// nodes, which initialize row `i` from the `i`-th node on the join
+    /// route.
+    pub fn row(&self, n: usize) -> Vec<Option<RouteCell>> {
+        self.rows[n].clone()
+    }
+
+    /// Iterates over all populated entries.
+    pub fn entries(&self) -> impl Iterator<Item = &RouteCell> {
+        self.rows.iter().flatten().filter_map(|c| c.as_ref())
+    }
+
+    /// Number of populated cells.
+    pub fn len(&self) -> usize {
+        self.entries().count()
+    }
+
+    /// Returns `true` if no cell is populated.
+    pub fn is_empty(&self) -> bool {
+        self.entries().next().is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use past_net::Addr;
+    use proptest::prelude::*;
+
+    fn entry(v: u128) -> NodeEntry {
+        NodeEntry::new(NodeId::from_u128(v), Addr((v & 0xffff) as u32))
+    }
+
+    fn own() -> NodeId {
+        NodeId::from_u128(0x1023_3102 << 96)
+    }
+
+    #[test]
+    fn consider_places_by_prefix() {
+        let mut rt = RoutingTable::new(own(), 4);
+        // Shares no prefix: digit 0 differs (own digit 0 = 1; candidate = 0xf...).
+        let far = entry(0xf000_0000 << 96);
+        assert!(rt.consider(far, 1.0));
+        assert_eq!(rt.get(0, 0xf).unwrap().entry, far);
+        // Shares 3 hex digits "102": row 3, col = 0.
+        let near = entry(0x1020_0000 << 96);
+        assert!(rt.consider(near, 2.0));
+        assert_eq!(rt.get(3, 0).unwrap().entry, near);
+    }
+
+    #[test]
+    fn closer_candidate_replaces() {
+        let mut rt = RoutingTable::new(own(), 4);
+        let a = entry(0xf000_0000 << 96);
+        let b = entry(0xf111_0000 << 96);
+        rt.consider(a, 5.0);
+        assert!(!rt.consider(b, 5.0), "not strictly closer");
+        assert_eq!(rt.get(0, 0xf).unwrap().entry, a);
+        assert!(rt.consider(b, 1.0));
+        assert_eq!(rt.get(0, 0xf).unwrap().entry, b);
+    }
+
+    #[test]
+    fn refresh_same_node() {
+        let mut rt = RoutingTable::new(own(), 4);
+        let a = entry(0xf000_0000 << 96);
+        rt.consider(a, 5.0);
+        // Same id, new proximity: refreshed in place.
+        assert!(rt.consider(a, 2.0));
+        assert_eq!(rt.get(0, 0xf).unwrap().proximity, 2.0);
+        assert!(!rt.consider(a, 2.0), "no-op refresh reports no change");
+    }
+
+    #[test]
+    fn own_id_never_inserted() {
+        let mut rt = RoutingTable::new(own(), 4);
+        assert!(!rt.consider(NodeEntry::new(own(), Addr(1)), 0.0));
+        assert!(rt.is_empty());
+    }
+
+    #[test]
+    fn cell_for_routes_by_shared_prefix() {
+        let mut rt = RoutingTable::new(own(), 4);
+        let target = NodeId::from_u128(0x1028_0000 << 96);
+        // Routing toward `target` consults row 3 (shared "102"), col 8.
+        let hop = entry(0x1028_9999 << 96);
+        rt.consider(hop, 1.0);
+        let cell = rt.cell_for(target).unwrap();
+        assert_eq!(cell.as_ref().unwrap().entry, hop);
+        assert!(rt.cell_for(own()).is_none());
+    }
+
+    #[test]
+    fn remove_only_matching_id() {
+        let mut rt = RoutingTable::new(own(), 4);
+        let a = entry(0xf000_0000 << 96);
+        rt.consider(a, 1.0);
+        // Removing a different node that maps to the same cell is a no-op.
+        assert!(!rt.remove(NodeId::from_u128(0xf111_0000 << 96)));
+        assert!(rt.remove(a.id));
+        assert!(rt.get(0, 0xf).is_none());
+    }
+
+    #[test]
+    fn row_extraction() {
+        let mut rt = RoutingTable::new(own(), 4);
+        let a = entry(0xf000_0000 << 96);
+        rt.consider(a, 1.0);
+        let row0 = rt.row(0);
+        assert_eq!(row0.len(), 16);
+        assert_eq!(row0[0xf].as_ref().unwrap().entry, a);
+        assert!(row0[0].is_none());
+    }
+
+    #[test]
+    fn table_dimensions_match_paper() {
+        // (2^b − 1) * ceil(log_2^b N) entries max; with b=4 and 128-bit
+        // ids there are 32 rows of 16 columns (one column per row is the
+        // node's own digit and stays empty).
+        let rt = RoutingTable::new(own(), 4);
+        assert_eq!(rt.row_count(), 32);
+        assert_eq!(rt.row(0).len(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_entry_shares_exactly_row_digits(ids: Vec<u128>) {
+            let mut rt = RoutingTable::new(own(), 4);
+            for v in ids {
+                rt.consider(entry(v), 1.0);
+            }
+            for (r, row) in rt.rows.iter().enumerate() {
+                for (c, cell) in row.iter().enumerate() {
+                    if let Some(cell) = cell {
+                        let shared = rt.own.shared_prefix_digits(cell.entry.id, 4) as usize;
+                        prop_assert_eq!(shared, r);
+                        prop_assert_eq!(cell.entry.id.digit(r as u32, 4) as usize, c);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn prop_consider_keeps_closest(v1: u128, suffix: u128, p1: f64, p2: f64) {
+            prop_assume!(p1.is_finite() && p2.is_finite());
+            let o = own();
+            let e1 = entry(v1);
+            prop_assume!(e1.id != o);
+            // Derive a second id in the same cell: keep the digits up to and
+            // including the first digit differing from `own`, randomize the
+            // rest.
+            let row = o.shared_prefix_digits(e1.id, 4);
+            let keep_bits = (row + 1) * 4;
+            let mask = if keep_bits >= 128 { u128::MAX } else { !(u128::MAX >> keep_bits) };
+            let v2 = (v1 & mask) | (suffix & !mask);
+            let e2 = entry(v2);
+            prop_assume!(e1.id != e2.id);
+            let mut rt = RoutingTable::new(o, 4);
+            rt.consider(e1, p1);
+            rt.consider(e2, p2);
+            let row = o.shared_prefix_digits(e1.id, 4) as usize;
+            let col = e1.id.digit(row as u32, 4) as usize;
+            let kept = rt.get(row, col).unwrap();
+            if p2 < p1 {
+                prop_assert_eq!(kept.entry, e2);
+            } else {
+                prop_assert_eq!(kept.entry, e1);
+            }
+        }
+    }
+}

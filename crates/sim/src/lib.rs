@@ -1,0 +1,17 @@
+//! Experiment harness for the PAST reproduction.
+//!
+//! [`ExperimentConfig`] captures one run of the paper's evaluation
+//! (§5): a 2250-node overlay, Table 1 node capacities scaled to the
+//! trace, the `t_pri`/`t_div` policies under test, and the workload
+//! replay mode (insert-only for the storage experiments, full replay
+//! with lookups for the caching experiment). [`Runner`] builds the
+//! overlay and replays a `past-workload` trace; [`ExperimentResult`]
+//! exposes exactly the aggregates each table and figure needs.
+
+mod config;
+mod metrics;
+mod runner;
+
+pub use config::{ExperimentConfig, TopologyKind};
+pub use metrics::{ExperimentResult, InsertRecord, LookupRecord};
+pub use runner::{run_experiment, Runner};

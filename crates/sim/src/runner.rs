@@ -1,0 +1,245 @@
+//! The experiment runner: builds a PAST overlay and replays a workload
+//! trace against it, collecting the paper's metrics.
+
+use std::collections::HashMap;
+
+use past_core::{PastEvent, PastNode, PastOverlayNode};
+use past_crypto::{KeyPair, Scheme};
+use past_id::FileId;
+use past_net::{Addr, ClusteredTopology, EuclideanTopology, Simulator, Topology};
+use past_pastry::{NodeEntry, PastryNode};
+use past_workload::Trace;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ExperimentConfig, TopologyKind};
+use crate::metrics::{is_cache_hit, ExperimentResult, InsertRecord, LookupRecord, ReplicaSample};
+
+/// A built overlay plus replay state.
+pub struct Runner {
+    cfg: ExperimentConfig,
+    sim: Simulator<PastOverlayNode>,
+    entries: Vec<NodeEntry>,
+    total_capacity: u64,
+    stored_bytes: u64,
+    replicas_now: u64,
+    diverted_now: u64,
+    /// fileId assigned to each successfully inserted trace file.
+    file_ids: HashMap<u32, FileId>,
+    result: ExperimentResult,
+    /// Progress callback (trace ops completed, total).
+    progress: Option<Box<dyn FnMut(usize, usize)>>,
+}
+
+impl Runner {
+    /// Builds the overlay for `cfg`, scaling node capacities so that the
+    /// trace's total replica bytes overcommit the system by
+    /// `cfg.overcommit`.
+    pub fn build(cfg: ExperimentConfig, trace: &Trace) -> Self {
+        let mut seeder = StdRng::seed_from_u64(cfg.seed);
+        // Scale capacities to the trace (preserving the Table 1 shape).
+        let trace_replica_bytes = trace.total_bytes() as f64 * cfg.k as f64;
+        let target_total = trace_replica_bytes / cfg.overcommit;
+        let scale = cfg.capacity.scale_for_total(cfg.nodes, target_total);
+        let capacity_dist = cfg.capacity.scaled(scale);
+        let capacities = capacity_dist.sample_nodes(cfg.nodes, &mut seeder);
+        let total_capacity: u64 = capacities.iter().sum();
+
+        let topo: Box<dyn Topology> = match cfg.topology {
+            TopologyKind::Euclidean => {
+                Box::new(EuclideanTopology::random(cfg.nodes, &mut seeder))
+            }
+            TopologyKind::Clustered { clusters } => {
+                Box::new(ClusteredTopology::round_robin(cfg.nodes, clusters))
+            }
+        };
+        let mut sim: Simulator<PastOverlayNode> = Simulator::new(topo, cfg.seed ^ 0x517);
+        let past_cfg = cfg.past_config();
+        let pastry_cfg = cfg.pastry_config();
+        let mut entries = Vec::with_capacity(cfg.nodes);
+        for (i, &capacity) in capacities.iter().enumerate() {
+            let keys = KeyPair::generate(Scheme::Keyed, &mut seeder);
+            let id = past_crypto::derive_node_id(&keys.public());
+            let addr = Addr(i as u32);
+            let entry = NodeEntry::new(id, addr);
+            let app = PastNode::new(past_cfg.clone(), keys, capacity, u64::MAX / 2);
+            let bootstrap = if i == 0 {
+                None
+            } else {
+                Some(Addr(seeder.gen_range(0..i) as u32))
+            };
+            sim.add_node(addr, PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap));
+            sim.run_until_idle();
+            entries.push(entry);
+        }
+        Runner {
+            cfg,
+            sim,
+            entries,
+            total_capacity,
+            stored_bytes: 0,
+            replicas_now: 0,
+            diverted_now: 0,
+            file_ids: HashMap::new(),
+            result: ExperimentResult {
+                total_capacity,
+                ..Default::default()
+            },
+            progress: None,
+        }
+    }
+
+    /// Installs a progress callback invoked every 1000 trace operations.
+    pub fn with_progress(mut self, f: impl FnMut(usize, usize) + 'static) -> Self {
+        self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Current global storage utilization in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        self.stored_bytes as f64 / self.total_capacity as f64
+    }
+
+    /// Access to the built overlay (for tests and custom experiments).
+    pub fn sim(&self) -> &Simulator<PastOverlayNode> {
+        &self.sim
+    }
+
+    /// The overlay's node identities.
+    pub fn entries(&self) -> &[NodeEntry] {
+        &self.entries
+    }
+
+    /// Maps a trace client to its access-point node, respecting cluster
+    /// co-location for clustered topologies (requests from one NLANR
+    /// site issue from PAST nodes in that site's cluster).
+    fn node_of_client(&self, client: u32, trace: &Trace) -> Addr {
+        let n = self.cfg.nodes;
+        let base = (client as usize * n) / trace.clients.max(1) as usize;
+        match self.cfg.topology {
+            TopologyKind::Euclidean => Addr(base.min(n - 1) as u32),
+            TopologyKind::Clustered { clusters } => {
+                let want = trace.client_cluster[client as usize];
+                // Node i's cluster is i % clusters (round-robin layout).
+                let aligned = base - (base % clusters as usize) + want as usize;
+                Addr(aligned.min(n - 1) as u32)
+            }
+        }
+    }
+
+    /// Replays the trace: first references insert, repeated references
+    /// look up (when `replay_lookups` is set). Returns the collected
+    /// metrics.
+    pub fn run(mut self, trace: &Trace) -> ExperimentResult {
+        let started = std::time::Instant::now();
+        let total_ops = trace.ops.len();
+        for (i, op) in trace.ops.iter().enumerate() {
+            let addr = self.node_of_client(op.client, trace);
+            if op.is_insert {
+                let spec = trace.files[op.file as usize];
+                self.do_insert(addr, op.file, &spec.name(), spec.size);
+            } else if self.cfg.replay_lookups {
+                if let Some(fid) = self.file_ids.get(&op.file).copied() {
+                    self.do_lookup(addr, fid);
+                }
+            }
+            if i % 1000 == 0 {
+                if let Some(cb) = self.progress.as_mut() {
+                    cb(i, total_ops);
+                }
+            }
+        }
+        self.result.stored_bytes = self.stored_bytes;
+        self.result.wall_seconds = started.elapsed().as_secs_f64();
+        self.result
+    }
+
+    fn do_insert(&mut self, addr: Addr, file_index: u32, name: &str, size: u64) {
+        let name = name.to_string();
+        self.sim.invoke(addr, move |node, ctx| {
+            node.invoke_app(ctx, |app, actx| {
+                app.insert(actx, &name, size);
+            });
+        });
+        self.sim.run_until_idle();
+        self.collect(Some(file_index));
+    }
+
+    fn do_lookup(&mut self, addr: Addr, fid: FileId) {
+        self.sim.invoke(addr, move |node, ctx| {
+            node.invoke_app(ctx, |app, actx| {
+                app.lookup(actx, fid);
+            });
+        });
+        self.sim.run_until_idle();
+        self.collect(None);
+    }
+
+    fn collect(&mut self, file_index: Option<u32>) {
+        for (_, _, event) in self.sim.drain_upcalls() {
+            match event {
+                PastEvent::ReplicaStored { size, diverted, .. } => {
+                    self.stored_bytes += size;
+                    self.replicas_now += 1;
+                    self.result.replicas_stored += 1;
+                    if diverted {
+                        self.diverted_now += 1;
+                        self.result.replicas_diverted += 1;
+                    }
+                }
+                PastEvent::ReplicaDropped { size, diverted, .. } => {
+                    self.stored_bytes = self.stored_bytes.saturating_sub(size);
+                    self.replicas_now = self.replicas_now.saturating_sub(1);
+                    self.result.replicas_stored = self.result.replicas_stored.saturating_sub(1);
+                    if diverted {
+                        self.diverted_now = self.diverted_now.saturating_sub(1);
+                        self.result.replicas_diverted =
+                            self.result.replicas_diverted.saturating_sub(1);
+                    }
+                }
+                PastEvent::InsertDone {
+                    file_id,
+                    size,
+                    attempts,
+                    success,
+                    ..
+                } => {
+                    if success {
+                        if let Some(idx) = file_index {
+                            self.file_ids.insert(idx, file_id);
+                        }
+                    }
+                    let utilization = self.utilization();
+                    self.result.inserts.push(InsertRecord {
+                        utilization,
+                        size,
+                        attempts,
+                        success,
+                    });
+                    self.result.replica_samples.push(ReplicaSample {
+                        utilization,
+                        replicas: self.replicas_now,
+                        diverted: self.diverted_now,
+                    });
+                }
+                PastEvent::LookupDone {
+                    found, hops, kind, ..
+                } => {
+                    let utilization = self.utilization();
+                    self.result.lookups.push(LookupRecord {
+                        utilization,
+                        found,
+                        hops,
+                        cache_hit: is_cache_hit(kind),
+                    });
+                }
+                PastEvent::ReclaimDone { .. } | PastEvent::InsertAttemptAborted { .. } => {}
+            }
+        }
+    }
+}
+
+/// Convenience: build and run in one call.
+pub fn run_experiment(cfg: ExperimentConfig, trace: &Trace) -> ExperimentResult {
+    Runner::build(cfg, trace).run(trace)
+}

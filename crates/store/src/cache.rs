@@ -1,0 +1,458 @@
+//! Disk caching of popular files (paper §4).
+//!
+//! PAST nodes use the *unused* portion of their advertised disk space to
+//! cache files that pass through them during lookups and inserts. Cached
+//! copies may be evicted at any time — in particular, a node evicts
+//! cached files to make room for new primary or diverted replicas, so
+//! cache effectiveness degrades gracefully as storage utilization rises.
+//!
+//! The replacement policy the paper adopts is **GreedyDual-Size (GD-S)**
+//! (Cao & Irani, USITS '97): each cached file `d` carries a weight
+//! `H_d = L + c(d)/s(d)`, where `s(d)` is its size, `c(d)` its cost
+//! (1 to maximize hit rate) and `L` an inflation value set to the evicted
+//! victim's weight. The classic "subtract H_v from everyone" formulation
+//! is implemented with the equivalent L-offset trick so that eviction is
+//! O(log n). An LRU policy is provided for the paper's comparison.
+
+use std::collections::{BTreeSet, HashMap};
+
+use past_id::FileId;
+
+/// Total order wrapper for finite priorities.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct Priority(f64);
+
+impl Eq for Priority {}
+impl PartialOrd for Priority {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Priority {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Which replacement policy a cache runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+pub enum CachePolicyKind {
+    /// GreedyDual-Size with unit cost (the paper's choice).
+    GreedyDualSize,
+    /// Least-recently-used.
+    Lru,
+    /// Caching disabled (the paper's "None" baseline in Figure 8).
+    None,
+}
+
+/// Internal replacement state.
+#[derive(Debug)]
+enum PolicyState {
+    Gds {
+        /// Inflation value L.
+        inflation: f64,
+        /// Monotonic touch sequence used to break weight ties by recency.
+        seq: u64,
+        /// Current (weight, touch sequence) per file.
+        weight: HashMap<FileId, (f64, u64)>,
+        /// Files ordered by weight, then touch recency, then id.
+        order: BTreeSet<(Priority, u64, FileId)>,
+    },
+    Lru {
+        /// Logical clock.
+        tick: u64,
+        /// Last-use tick per file.
+        last_use: HashMap<FileId, u64>,
+        /// Files ordered by last use.
+        order: BTreeSet<(u64, FileId)>,
+    },
+    None,
+}
+
+/// A size-bounded file cache with pluggable replacement policy.
+///
+/// The cache stores file metadata only (id and size); actual content
+/// lives with the simulation's file registry. Its capacity is managed by
+/// the surrounding [`crate::NodeStore`]: replicas take precedence, and
+/// the store shrinks the cache (evicting entries) whenever replicas need
+/// the space.
+#[derive(Debug)]
+pub struct Cache {
+    kind: CachePolicyKind,
+    entries: HashMap<FileId, u64>,
+    used: u64,
+    policy: PolicyState,
+    hits: u64,
+    misses: u64,
+    insertions: u64,
+    evictions: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache with the given policy.
+    pub fn new(kind: CachePolicyKind) -> Self {
+        let policy = match kind {
+            CachePolicyKind::GreedyDualSize => PolicyState::Gds {
+                inflation: 0.0,
+                seq: 0,
+                weight: HashMap::new(),
+                order: BTreeSet::new(),
+            },
+            CachePolicyKind::Lru => PolicyState::Lru {
+                tick: 0,
+                last_use: HashMap::new(),
+                order: BTreeSet::new(),
+            },
+            CachePolicyKind::None => PolicyState::None,
+        };
+        Cache {
+            kind,
+            entries: HashMap::new(),
+            used: 0,
+            policy,
+            hits: 0,
+            misses: 0,
+            insertions: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The policy in use.
+    pub fn kind(&self) -> CachePolicyKind {
+        self.kind
+    }
+
+    /// Bytes currently occupied by cached files.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Number of cached files.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `id` is cached.
+    pub fn contains(&self, id: FileId) -> bool {
+        self.entries.contains_key(&id)
+    }
+
+    /// (hits, misses, insertions, evictions) so far.
+    pub fn stats(&self) -> (u64, u64, u64, u64) {
+        (self.hits, self.misses, self.insertions, self.evictions)
+    }
+
+    /// Probes the cache for `id`, updating recency/weight and hit
+    /// statistics. Returns the file size if present.
+    pub fn probe(&mut self, id: FileId) -> Option<u64> {
+        match self.entries.get(&id).copied() {
+            Some(size) => {
+                self.hits += 1;
+                self.touch(id, size);
+                Some(size)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn touch(&mut self, id: FileId, size: u64) {
+        match &mut self.policy {
+            PolicyState::Gds {
+                inflation,
+                seq,
+                weight,
+                order,
+            } => {
+                if let Some((old_w, old_s)) = weight.get(&id).copied() {
+                    order.remove(&(Priority(old_w), old_s, id));
+                }
+                *seq += 1;
+                let h = *inflation + gds_benefit(size);
+                weight.insert(id, (h, *seq));
+                order.insert((Priority(h), *seq, id));
+            }
+            PolicyState::Lru {
+                tick,
+                last_use,
+                order,
+            } => {
+                if let Some(old) = last_use.get(&id).copied() {
+                    order.remove(&(old, id));
+                }
+                *tick += 1;
+                last_use.insert(id, *tick);
+                order.insert((*tick, id));
+            }
+            PolicyState::None => {}
+        }
+    }
+
+    /// Inserts a file of `size` bytes, evicting lowest-priority entries
+    /// until it fits within `budget` total bytes. Returns the evicted ids.
+    ///
+    /// The insertion is refused (empty return, nothing cached) when the
+    /// policy is [`CachePolicyKind::None`], the file alone exceeds the
+    /// budget, or it is already cached (which just refreshes it).
+    pub fn insert(&mut self, id: FileId, size: u64, budget: u64) -> Vec<FileId> {
+        if matches!(self.policy, PolicyState::None) {
+            return Vec::new();
+        }
+        if self.entries.contains_key(&id) {
+            self.touch(id, size);
+            return Vec::new();
+        }
+        if size > budget {
+            return Vec::new();
+        }
+        let mut evicted = Vec::new();
+        while self.used + size > budget {
+            match self.evict_one() {
+                Some(victim) => evicted.push(victim),
+                None => break,
+            }
+        }
+        debug_assert!(self.used + size <= budget);
+        self.entries.insert(id, size);
+        self.used += size;
+        self.insertions += 1;
+        self.touch(id, size);
+        evicted
+    }
+
+    /// Shrinks the cache to at most `budget` bytes (called by the store
+    /// when replicas claim space). Returns evicted ids.
+    pub fn shrink_to(&mut self, budget: u64) -> Vec<FileId> {
+        let mut evicted = Vec::new();
+        while self.used > budget {
+            match self.evict_one() {
+                Some(victim) => evicted.push(victim),
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Removes a specific file (e.g. it became a primary replica here).
+    pub fn remove(&mut self, id: FileId) -> bool {
+        match self.entries.remove(&id) {
+            Some(size) => {
+                self.used -= size;
+                match &mut self.policy {
+                    PolicyState::Gds { weight, order, .. } => {
+                        if let Some((w, s)) = weight.remove(&id) {
+                            order.remove(&(Priority(w), s, id));
+                        }
+                    }
+                    PolicyState::Lru {
+                        last_use, order, ..
+                    } => {
+                        if let Some(t) = last_use.remove(&id) {
+                            order.remove(&(t, id));
+                        }
+                    }
+                    PolicyState::None => {}
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn evict_one(&mut self) -> Option<FileId> {
+        let victim = match &mut self.policy {
+            PolicyState::Gds {
+                inflation,
+                weight,
+                order,
+                ..
+            } => {
+                let (pri, s, id) = order.iter().next().copied()?;
+                order.remove(&(pri, s, id));
+                weight.remove(&id);
+                // GreedyDual aging: L rises to the victim's weight.
+                *inflation = pri.0;
+                id
+            }
+            PolicyState::Lru {
+                last_use, order, ..
+            } => {
+                let (t, id) = order.iter().next().copied()?;
+                order.remove(&(t, id));
+                last_use.remove(&id);
+                id
+            }
+            PolicyState::None => return None,
+        };
+        let size = self
+            .entries
+            .remove(&victim)
+            .expect("policy and entries in sync");
+        self.used -= size;
+        self.evictions += 1;
+        Some(victim)
+    }
+}
+
+/// GD-S benefit term c(d)/s(d) with c(d) = 1; guards the zero-size files
+/// present in the NLANR trace.
+fn gds_benefit(size: u64) -> f64 {
+    1.0 / (size.max(1) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn fid(v: u32) -> FileId {
+        let mut bytes = [0u8; 20];
+        bytes[..4].copy_from_slice(&v.to_be_bytes());
+        FileId::from_bytes(bytes)
+    }
+
+    #[test]
+    fn insert_and_probe() {
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        assert!(c.insert(fid(1), 100, 1000).is_empty());
+        assert_eq!(c.probe(fid(1)), Some(100));
+        assert_eq!(c.probe(fid(2)), None);
+        assert_eq!(c.stats().0, 1);
+        assert_eq!(c.stats().1, 1);
+    }
+
+    #[test]
+    fn gds_evicts_larger_file_first() {
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        c.insert(fid(1), 900, 1000); // benefit 1/900 — low priority
+        c.insert(fid(2), 50, 1000); // benefit 1/50 — higher
+        let evicted = c.insert(fid(3), 100, 1000);
+        assert_eq!(evicted, vec![fid(1)], "big file is the GD-S victim");
+        assert!(c.contains(fid(2)));
+        assert!(c.contains(fid(3)));
+    }
+
+    #[test]
+    fn gds_recency_via_inflation() {
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        // Two same-size files; a is older but gets re-referenced after an
+        // eviction raised L, so b becomes the victim.
+        c.insert(fid(1), 400, 1000);
+        c.insert(fid(2), 400, 1000);
+        // Force an eviction to inflate L: insert big file into small room.
+        let evicted = c.insert(fid(3), 400, 1000);
+        assert_eq!(evicted, vec![fid(1)], "oldest same-size entry evicted");
+        // Re-reference fid(2) — its weight now includes the raised L.
+        c.probe(fid(2));
+        let evicted = c.insert(fid(4), 400, 1000);
+        assert_eq!(evicted, vec![fid(3)], "unreferenced entry evicted");
+        assert!(c.contains(fid(2)));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(CachePolicyKind::Lru);
+        c.insert(fid(1), 400, 1000);
+        c.insert(fid(2), 400, 1000);
+        c.probe(fid(1)); // 2 is now least recent
+        let evicted = c.insert(fid(3), 400, 1000);
+        assert_eq!(evicted, vec![fid(2)]);
+    }
+
+    #[test]
+    fn none_policy_caches_nothing() {
+        let mut c = Cache::new(CachePolicyKind::None);
+        assert!(c.insert(fid(1), 10, 1000).is_empty());
+        assert!(!c.contains(fid(1)));
+        assert_eq!(c.probe(fid(1)), None);
+    }
+
+    #[test]
+    fn oversized_file_refused() {
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        c.insert(fid(1), 2000, 1000);
+        assert!(!c.contains(fid(1)));
+        assert_eq!(c.used(), 0);
+    }
+
+    #[test]
+    fn duplicate_insert_refreshes() {
+        let mut c = Cache::new(CachePolicyKind::Lru);
+        c.insert(fid(1), 400, 1000);
+        c.insert(fid(2), 400, 1000);
+        c.insert(fid(1), 400, 1000); // refresh, not duplicate
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.used(), 800);
+        let evicted = c.insert(fid(3), 400, 1000);
+        assert_eq!(evicted, vec![fid(2)], "refresh made fid(1) most recent");
+    }
+
+    #[test]
+    fn shrink_to_evicts_until_budget() {
+        let mut c = Cache::new(CachePolicyKind::Lru);
+        for i in 0..5 {
+            c.insert(fid(i), 100, 1000);
+        }
+        let evicted = c.shrink_to(250);
+        assert_eq!(evicted.len(), 3);
+        assert!(c.used() <= 250);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn remove_specific_entry() {
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        c.insert(fid(1), 100, 1000);
+        assert!(c.remove(fid(1)));
+        assert!(!c.remove(fid(1)));
+        assert_eq!(c.used(), 0);
+        // Removal must not corrupt the order structures.
+        c.insert(fid(2), 100, 1000);
+        assert_eq!(c.probe(fid(2)), Some(100));
+    }
+
+    #[test]
+    fn zero_size_files_supported() {
+        // The NLANR trace contains 0-byte files; GD-S weights must stay
+        // finite.
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        c.insert(fid(1), 0, 10);
+        assert!(c.contains(fid(1)));
+        assert_eq!(c.probe(fid(1)), Some(0));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_used_equals_sum_of_entries(ops: Vec<(u8, u8, u16)>) {
+            for kind in [CachePolicyKind::GreedyDualSize, CachePolicyKind::Lru] {
+                let mut c = Cache::new(kind);
+                for (op, id, size) in &ops {
+                    match op % 4 {
+                        0 | 1 => { c.insert(fid(*id as u32), *size as u64, 4096); }
+                        2 => { c.probe(fid(*id as u32)); }
+                        _ => { c.remove(fid(*id as u32)); }
+                    }
+                    let sum: u64 = c.entries.values().sum();
+                    prop_assert_eq!(c.used(), sum);
+                    prop_assert!(c.used() <= 4096);
+                }
+            }
+        }
+
+        #[test]
+        fn prop_budget_respected(sizes: Vec<u16>, budget in 1u64..5000) {
+            let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+            for (i, s) in sizes.iter().enumerate() {
+                c.insert(fid(i as u32), *s as u64, budget);
+                prop_assert!(c.used() <= budget);
+            }
+        }
+    }
+}

@@ -1,0 +1,616 @@
+//! The per-node storage manager (paper §3).
+//!
+//! Each PAST node contributes an advertised amount of disk space. That
+//! space holds, in priority order:
+//!
+//! 1. **primary replicas** — files for which this node is one of the `k`
+//!    numerically closest nodes;
+//! 2. **diverted replicas** — files stored here on behalf of a leaf-set
+//!    neighbor that could not accommodate them (replica diversion, §3.3);
+//! 3. **cached copies** — everything left over is a disk cache that can
+//!    be evicted at any time (§4).
+//!
+//! Besides replicas, the node's *file table* records diversion pointers:
+//! if node A diverts a replica to node B, A keeps a pointer A→B, and the
+//! node C with the k+1-th closest nodeId keeps a backup pointer C→B so
+//! that A's failure does not orphan the replica.
+
+use std::collections::HashMap;
+
+use past_crypto::FileCertificate;
+use past_id::FileId;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{Cache, CachePolicyKind};
+
+/// Storage-management thresholds (paper §3.3.1).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct StorePolicy {
+    /// Acceptance threshold for primary replicas: reject file D at node N
+    /// when `size(D)/free(N) > t_pri`.
+    pub t_pri: f64,
+    /// Acceptance threshold for diverted replicas (`t_div < t_pri`, so
+    /// nodes keep room for their own primaries).
+    pub t_div: f64,
+    /// Cache admission fraction `c`: a routed-through file is cached if
+    /// smaller than `c` × the node's current cache size (the unused
+    /// portion of its storage).
+    pub cache_fraction: f64,
+}
+
+impl Default for StorePolicy {
+    fn default() -> Self {
+        // The paper's recommended operating point.
+        StorePolicy {
+            t_pri: 0.1,
+            t_div: 0.05,
+            cache_fraction: 1.0,
+        }
+    }
+}
+
+impl StorePolicy {
+    /// The §5.1 baseline with replica/file diversion effectively disabled
+    /// (t_pri = 1 accepts anything that fits; t_div = 0 rejects all
+    /// diverted replicas).
+    pub fn no_diversion() -> Self {
+        StorePolicy {
+            t_pri: 1.0,
+            t_div: 0.0,
+            cache_fraction: 1.0,
+        }
+    }
+}
+
+/// Why a replica was refused.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub enum StoreError {
+    /// `size/free > threshold` — the §3.3.1 acceptance policy.
+    OverThreshold {
+        /// File size in bytes.
+        size: u64,
+        /// Remaining free space at the node.
+        free: u64,
+    },
+    /// The file is already stored here in some role.
+    Duplicate,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::OverThreshold { size, free } => {
+                write!(f, "file of {size} B rejected with {free} B free")
+            }
+            StoreError::Duplicate => write!(f, "file already stored"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A replica held on this node's disk.
+#[derive(Clone, Debug)]
+pub struct StoredReplica<H> {
+    /// The file's certificate (carries size, owner, content hash).
+    pub cert: FileCertificate,
+    /// For diverted replicas: the node that diverted the file here.
+    pub diverted_from: Option<H>,
+}
+
+impl<H> StoredReplica<H> {
+    /// File size in bytes.
+    pub fn size(&self) -> u64 {
+        self.cert.file_size
+    }
+}
+
+/// How a lookup resolves against this node's storage.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolution<H: Copy> {
+    /// Stored here as a primary replica.
+    Primary,
+    /// Stored here as a diverted replica (held for another node).
+    DivertedHere,
+    /// This node is responsible, but the replica lives at `holder`
+    /// (one extra hop — the diversion lookup overhead the paper counts).
+    Pointer(H),
+    /// Present only in the disk cache.
+    Cached,
+    /// Unknown here.
+    Miss,
+}
+
+/// The storage manager of one PAST node.
+///
+/// `H` identifies remote replica holders (the PAST layer instantiates it
+/// with its node-entry type).
+#[derive(Debug)]
+pub struct NodeStore<H: Copy> {
+    capacity: u64,
+    policy: StorePolicy,
+    primaries: HashMap<FileId, StoredReplica<H>>,
+    diverted: HashMap<FileId, StoredReplica<H>>,
+    /// A→B pointers: this node is responsible, B holds the replica.
+    pointers: HashMap<FileId, H>,
+    /// C→B backup pointers installed on the k+1-th closest node.
+    backup_pointers: HashMap<FileId, H>,
+    replica_used: u64,
+    cache: Cache,
+    /// Certificates of cached files (pruned in lock-step with the cache),
+    /// so a cache hit can serve the file.
+    cache_certs: HashMap<FileId, FileCertificate>,
+    rejected_inserts: u64,
+}
+
+impl<H: Copy> NodeStore<H> {
+    /// Creates a store advertising `capacity` bytes.
+    pub fn new(capacity: u64, policy: StorePolicy, cache_policy: CachePolicyKind) -> Self {
+        NodeStore {
+            capacity,
+            policy,
+            primaries: HashMap::new(),
+            diverted: HashMap::new(),
+            pointers: HashMap::new(),
+            backup_pointers: HashMap::new(),
+            replica_used: 0,
+            cache: Cache::new(cache_policy),
+            cache_certs: HashMap::new(),
+            rejected_inserts: 0,
+        }
+    }
+
+    /// Advertised capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The active policy thresholds.
+    pub fn policy(&self) -> StorePolicy {
+        self.policy
+    }
+
+    /// Bytes consumed by replicas (primaries + diverted held here).
+    /// Cached copies do not count: they occupy the unused portion.
+    pub fn replica_used(&self) -> u64 {
+        self.replica_used
+    }
+
+    /// Free space as seen by the acceptance policy (capacity minus
+    /// replica bytes; cache contents are evictable and do not reduce it).
+    pub fn free(&self) -> u64 {
+        self.capacity - self.replica_used
+    }
+
+    /// Current cache size in the paper's sense: the portion of storage
+    /// not used by replicas.
+    pub fn cache_budget(&self) -> u64 {
+        self.free()
+    }
+
+    /// Storage utilization of this node in [0, 1].
+    pub fn utilization(&self) -> f64 {
+        if self.capacity == 0 {
+            return 1.0;
+        }
+        self.replica_used as f64 / self.capacity as f64
+    }
+
+    /// Number of primary replicas held.
+    pub fn primary_count(&self) -> usize {
+        self.primaries.len()
+    }
+
+    /// Number of diverted replicas held for other nodes.
+    pub fn diverted_count(&self) -> usize {
+        self.diverted.len()
+    }
+
+    /// Number of diversion pointers installed (A→B entries).
+    pub fn pointer_count(&self) -> usize {
+        self.pointers.len()
+    }
+
+    /// Read access to the cache.
+    pub fn cache(&self) -> &Cache {
+        &self.cache
+    }
+
+    /// Replicas this node refused so far.
+    pub fn rejected_inserts(&self) -> u64 {
+        self.rejected_inserts
+    }
+
+    /// The §3.3.1 acceptance test for a primary replica:
+    /// `size/free > t_pri` rejects.
+    pub fn accepts_primary(&self, size: u64) -> bool {
+        accepts(size, self.free(), self.policy.t_pri)
+    }
+
+    /// The acceptance test for a diverted replica (`t_div`).
+    pub fn accepts_diverted(&self, size: u64) -> bool {
+        accepts(size, self.free(), self.policy.t_div)
+    }
+
+    /// Stores a primary replica, evicting cached files if needed.
+    pub fn store_primary(&mut self, cert: FileCertificate) -> Result<(), StoreError> {
+        self.store_replica(cert, None, /* primary */ true)
+    }
+
+    /// Stores a diverted replica on behalf of `from`.
+    pub fn store_diverted(&mut self, cert: FileCertificate, from: H) -> Result<(), StoreError> {
+        self.store_replica(cert, Some(from), false)
+    }
+
+    fn store_replica(
+        &mut self,
+        cert: FileCertificate,
+        from: Option<H>,
+        primary: bool,
+    ) -> Result<(), StoreError> {
+        let id = cert.file_id;
+        if self.primaries.contains_key(&id) || self.diverted.contains_key(&id) {
+            return Err(StoreError::Duplicate);
+        }
+        let size = cert.file_size;
+        let ok = if primary {
+            self.accepts_primary(size)
+        } else {
+            self.accepts_diverted(size)
+        };
+        if !ok {
+            self.rejected_inserts += 1;
+            return Err(StoreError::OverThreshold {
+                size,
+                free: self.free(),
+            });
+        }
+        // Replicas displace cached copies ("when a node stores a new
+        // primary or redirected replica, it typically evicts one or more
+        // cached files").
+        self.cache.remove(id);
+        self.cache_certs.remove(&id);
+        self.replica_used += size;
+        let budget = self.cache_budget();
+        for evicted in self.cache.shrink_to(budget) {
+            self.cache_certs.remove(&evicted);
+        }
+        let replica = StoredReplica {
+            cert,
+            diverted_from: from,
+        };
+        if primary {
+            self.primaries.insert(id, replica);
+        } else {
+            self.diverted.insert(id, replica);
+        }
+        Ok(())
+    }
+
+    /// Removes a replica in any role (reclaim, migration, invariant
+    /// maintenance). Returns it if present.
+    pub fn remove_replica(&mut self, id: FileId) -> Option<StoredReplica<H>> {
+        let replica = self
+            .primaries
+            .remove(&id)
+            .or_else(|| self.diverted.remove(&id))?;
+        self.replica_used -= replica.size();
+        Some(replica)
+    }
+
+    /// Installs an A→B diversion pointer.
+    pub fn install_pointer(&mut self, id: FileId, holder: H) {
+        self.pointers.insert(id, holder);
+    }
+
+    /// Installs a C→B backup pointer (on the k+1-th closest node).
+    pub fn install_backup_pointer(&mut self, id: FileId, holder: H) {
+        self.backup_pointers.insert(id, holder);
+    }
+
+    /// Removes a diversion pointer. Returns the holder if present.
+    pub fn remove_pointer(&mut self, id: FileId) -> Option<H> {
+        self.pointers.remove(&id)
+    }
+
+    /// Removes a backup pointer. Returns the holder if present.
+    pub fn remove_backup_pointer(&mut self, id: FileId) -> Option<H> {
+        self.backup_pointers.remove(&id)
+    }
+
+    /// The backup pointers (file → holder) currently installed.
+    pub fn backup_pointers(&self) -> impl Iterator<Item = (&FileId, &H)> {
+        self.backup_pointers.iter()
+    }
+
+    /// The A→B pointers currently installed.
+    pub fn pointers(&self) -> impl Iterator<Item = (&FileId, &H)> {
+        self.pointers.iter()
+    }
+
+    /// Resolves a lookup against replicas, pointers, then the cache.
+    /// Probing the cache updates its hit statistics only when the file is
+    /// found nowhere else.
+    pub fn resolve(&mut self, id: FileId) -> Resolution<H> {
+        if self.primaries.contains_key(&id) {
+            return Resolution::Primary;
+        }
+        if self.diverted.contains_key(&id) {
+            return Resolution::DivertedHere;
+        }
+        if let Some(h) = self.pointers.get(&id) {
+            return Resolution::Pointer(*h);
+        }
+        if self.cache.probe(id).is_some() {
+            return Resolution::Cached;
+        }
+        Resolution::Miss
+    }
+
+    /// Returns the stored replica (primary or diverted) if present.
+    pub fn replica(&self, id: FileId) -> Option<&StoredReplica<H>> {
+        self.primaries.get(&id).or_else(|| self.diverted.get(&id))
+    }
+
+    /// Iterates over primary replicas.
+    pub fn primaries(&self) -> impl Iterator<Item = (&FileId, &StoredReplica<H>)> {
+        self.primaries.iter()
+    }
+
+    /// Iterates over diverted replicas held here.
+    pub fn diverted_here(&self) -> impl Iterator<Item = (&FileId, &StoredReplica<H>)> {
+        self.diverted.iter()
+    }
+
+    /// Whether this node holds a replica of `id` (primary or diverted).
+    pub fn holds_replica(&self, id: FileId) -> bool {
+        self.primaries.contains_key(&id) || self.diverted.contains_key(&id)
+    }
+
+    /// The §4 cache admission + insertion path for a file routed through
+    /// this node. Returns `true` if the file was cached.
+    pub fn cache_file(&mut self, cert: &FileCertificate) -> bool {
+        if self.holds_replica(cert.file_id) {
+            return false;
+        }
+        let budget = self.cache_budget();
+        let admit = (cert.file_size as f64) < self.policy.cache_fraction * budget as f64;
+        if !admit {
+            return false;
+        }
+        for evicted in self.cache.insert(cert.file_id, cert.file_size, budget) {
+            self.cache_certs.remove(&evicted);
+        }
+        let cached = self.cache.contains(cert.file_id);
+        if cached {
+            self.cache_certs.insert(cert.file_id, cert.clone());
+        }
+        cached
+    }
+
+    /// The certificate of a cached file, if cached.
+    pub fn cached_cert(&self, id: FileId) -> Option<&FileCertificate> {
+        self.cache_certs.get(&id)
+    }
+
+    /// Probes the cache alone (used by lookups hitting intermediate
+    /// nodes). Returns `true` on a cache hit.
+    pub fn cache_probe(&mut self, id: FileId) -> bool {
+        self.cache.probe(id).is_some()
+    }
+}
+
+/// The shared acceptance rule: reject when `size/free > t`.
+fn accepts(size: u64, free: u64, t: f64) -> bool {
+    if size > free {
+        return false;
+    }
+    (size as f64) <= t * (free as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use past_crypto::{KeyPair, Scheme, Sha1};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    type Store = NodeStore<u32>;
+
+    fn cert(name: &str, size: u64) -> FileCertificate {
+        let mut rng = StdRng::seed_from_u64(1);
+        let owner = KeyPair::generate(Scheme::Keyed, &mut rng);
+        FileCertificate::issue(
+            &owner,
+            name,
+            Sha1::digest(name.as_bytes()),
+            size,
+            5,
+            0,
+            0,
+            &mut rng,
+        )
+    }
+
+    fn store(capacity: u64) -> Store {
+        NodeStore::new(
+            capacity,
+            StorePolicy::default(),
+            CachePolicyKind::GreedyDualSize,
+        )
+    }
+
+    #[test]
+    fn primary_store_and_resolve() {
+        let mut s = store(10_000);
+        let c = cert("a", 500);
+        let id = c.file_id;
+        s.store_primary(c).unwrap();
+        assert_eq!(s.resolve(id), Resolution::Primary);
+        assert_eq!(s.replica_used(), 500);
+        assert_eq!(s.free(), 9_500);
+        assert_eq!(s.primary_count(), 1);
+    }
+
+    #[test]
+    fn threshold_rejects_large_files() {
+        let mut s = store(10_000);
+        // t_pri = 0.1 → largest acceptable primary is 1000 bytes.
+        assert!(s.store_primary(cert("big", 1_001)).is_err());
+        assert!(s.store_primary(cert("ok", 1_000)).is_ok());
+        assert_eq!(s.rejected_inserts(), 1);
+    }
+
+    #[test]
+    fn diverted_threshold_stricter() {
+        let mut s = store(10_000);
+        // t_div = 0.05 → largest acceptable diverted replica is 500 bytes.
+        assert!(s.store_diverted(cert("big", 501), 7).is_err());
+        assert!(s.store_diverted(cert("ok", 500), 7).is_ok());
+        assert_eq!(s.diverted_count(), 1);
+        let id = s.diverted_here().next().unwrap().0;
+        assert_eq!(s.replica(*id).unwrap().diverted_from, Some(7));
+    }
+
+    #[test]
+    fn threshold_tightens_as_node_fills() {
+        let mut s = store(10_000);
+        // Fill with many small files; acceptable size shrinks with free().
+        let mut stored = 0u64;
+        let mut i = 0;
+        loop {
+            let c = cert(&format!("f{i}"), 300);
+            i += 1;
+            match s.store_primary(c) {
+                Ok(()) => stored += 300,
+                Err(_) => break,
+            }
+        }
+        assert_eq!(s.replica_used(), stored);
+        // Rejection happened once free() < 3000 (300/free > 0.1).
+        assert!(s.free() < 3_000);
+        // Smaller files still accepted.
+        assert!(s.store_primary(cert("small", 10)).is_ok());
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut s = store(10_000);
+        let c = cert("a", 100);
+        s.store_primary(c.clone()).unwrap();
+        assert_eq!(s.store_primary(c.clone()), Err(StoreError::Duplicate));
+        assert_eq!(s.store_diverted(c, 3), Err(StoreError::Duplicate));
+    }
+
+    #[test]
+    fn zero_byte_files_always_accepted() {
+        // The NLANR trace has 0-byte files; 0/free = 0 <= t.
+        let mut s = store(100);
+        assert!(s.store_primary(cert("empty", 0)).is_ok());
+    }
+
+    #[test]
+    fn remove_replica_frees_space() {
+        let mut s = store(10_000);
+        let c = cert("a", 400);
+        let id = c.file_id;
+        s.store_primary(c).unwrap();
+        let r = s.remove_replica(id).unwrap();
+        assert_eq!(r.size(), 400);
+        assert_eq!(s.replica_used(), 0);
+        assert!(s.remove_replica(id).is_none());
+        assert_eq!(s.resolve(id), Resolution::Miss);
+    }
+
+    #[test]
+    fn pointers_resolve_with_holder() {
+        let mut s = store(10_000);
+        let c = cert("a", 100);
+        let id = c.file_id;
+        s.install_pointer(id, 42);
+        assert_eq!(s.resolve(id), Resolution::Pointer(42));
+        assert_eq!(s.remove_pointer(id), Some(42));
+        assert_eq!(s.resolve(id), Resolution::Miss);
+        let _ = c;
+    }
+
+    #[test]
+    fn backup_pointers_tracked_separately() {
+        let mut s = store(10_000);
+        let c = cert("a", 100);
+        s.install_backup_pointer(c.file_id, 9);
+        // Backup pointers don't serve lookups (C only guards against A's
+        // failure); resolution is a miss.
+        assert_eq!(s.resolve(c.file_id), Resolution::Miss);
+        assert_eq!(s.remove_backup_pointer(c.file_id), Some(9));
+    }
+
+    #[test]
+    fn cache_file_respects_fraction() {
+        let mut s = NodeStore::<u32>::new(
+            1_000,
+            StorePolicy {
+                cache_fraction: 0.5,
+                ..Default::default()
+            },
+            CachePolicyKind::GreedyDualSize,
+        );
+        // Budget (free) = 1000; fraction 0.5 → only files < 500 cached.
+        assert!(!s.cache_file(&cert("big", 600)));
+        assert!(s.cache_file(&cert("small", 400)));
+    }
+
+    #[test]
+    fn replicas_evict_cached_copies() {
+        let mut s = store(1_000);
+        assert!(s.cache_file(&cert("cached", 900)));
+        assert_eq!(s.cache().used(), 900);
+        // A replica claims the space; the cache must shrink.
+        s.store_primary(cert("replica", 100)).unwrap();
+        assert!(s.cache().used() <= s.cache_budget());
+    }
+
+    #[test]
+    fn stored_replica_never_double_cached() {
+        let mut s = store(10_000);
+        let c = cert("a", 100);
+        let id = c.file_id;
+        assert!(s.cache_file(&c));
+        s.store_primary(c.clone()).unwrap();
+        // Promotion removed the cached copy.
+        assert!(!s.cache().contains(id));
+        // And a held replica is not re-admitted to the cache.
+        assert!(!s.cache_file(&c));
+    }
+
+    #[test]
+    fn resolve_prefers_replica_over_cache() {
+        let mut s = store(10_000);
+        let c = cert("a", 100);
+        let id = c.file_id;
+        s.store_primary(c).unwrap();
+        assert_eq!(s.resolve(id), Resolution::Primary);
+    }
+
+    #[test]
+    fn utilization_and_cache_budget_track_replicas() {
+        let mut s = store(1_000);
+        assert_eq!(s.utilization(), 0.0);
+        s.store_primary(cert("a", 100)).unwrap();
+        assert!((s.utilization() - 0.1).abs() < 1e-9);
+        assert_eq!(s.cache_budget(), 900);
+    }
+
+    #[test]
+    fn no_diversion_policy_behaves_like_baseline() {
+        let mut s = NodeStore::<u32>::new(
+            1_000,
+            StorePolicy::no_diversion(),
+            CachePolicyKind::None,
+        );
+        // t_pri = 1.0: anything that fits is accepted.
+        assert!(s.store_primary(cert("a", 1_000)).is_ok());
+        // t_div = 0.0: every diverted replica is rejected.
+        let mut s2 = NodeStore::<u32>::new(1_000, StorePolicy::no_diversion(), CachePolicyKind::None);
+        assert!(s2.store_diverted(cert("b", 1), 1).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Workspace-level integration tests: exercise the full stack through
+//! the `past` facade — smartcard identities, the Pastry overlay, PAST
+//! storage management, caching, quotas and erasure coding together.
+
+use past::core::{PastConfig, PastEvent, PastNode, PastOverlayNode};
+use past::crypto::{CardIssuer, Scheme};
+use past::erasure::ReedSolomon;
+use past::id::FileId;
+use past::net::{Addr, EuclideanTopology, SimDuration, Simulator};
+use past::pastry::{NodeEntry, PastryConfig, PastryNode};
+use past::sim::{run_experiment, ExperimentConfig};
+use past::store::CachePolicyKind;
+use past::workload::WebTraceConfig;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Builds an overlay whose node identities come from issuer-signed
+/// smartcards, verifying each certificate as the paper's security model
+/// prescribes.
+fn build_card_overlay(
+    nodes: usize,
+    seed: u64,
+) -> (Simulator<PastOverlayNode>, Vec<NodeEntry>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let issuer = CardIssuer::new(Scheme::Keyed, &mut rng);
+    let topology = EuclideanTopology::random(nodes, &mut rng);
+    let mut sim: Simulator<PastOverlayNode> = Simulator::new(Box::new(topology), seed);
+    let pastry_cfg = PastryConfig {
+        leaf_set_size: 16,
+        neighborhood_size: 16,
+        keep_alive_period: SimDuration::ZERO,
+        ..Default::default()
+    };
+    let past_cfg = PastConfig {
+        verify_certificates: true,
+        ..Default::default()
+    };
+    let mut entries = Vec::new();
+    for i in 0..nodes {
+        let card = issuer.issue_card(1 << 30, &mut rng);
+        // Every node verifies its card against the issuer key before
+        // joining — a forged nodeId can never enter the overlay.
+        card.node_id_cert()
+            .verify(&issuer.public())
+            .expect("issuer-signed card");
+        let id = card.node_id();
+        let addr = Addr(i as u32);
+        let entry = NodeEntry::new(id, addr);
+        let app = PastNode::new(
+            past_cfg.clone(),
+            card.keypair().clone(),
+            100 << 20,
+            1 << 30,
+        );
+        let bootstrap = (i > 0).then(|| Addr(rng.gen_range(0..i) as u32));
+        sim.add_node(addr, PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap));
+        sim.run_until_idle();
+        entries.push(entry);
+    }
+    (sim, entries)
+}
+
+#[test]
+fn smartcard_identities_insert_and_lookup_with_verification() {
+    let (mut sim, _) = build_card_overlay(30, 401);
+    // verify_certificates = true: every storage node checks the file
+    // certificate signature, every receipt is verified by the client.
+    sim.invoke(Addr(2), |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.insert(actx, "verified.doc", 64 << 10);
+        });
+    });
+    sim.run_until_idle();
+    let mut fid = None;
+    for (_, _, e) in sim.drain_upcalls() {
+        if let PastEvent::InsertDone {
+            file_id, success, ..
+        } = e
+        {
+            assert!(success, "verified insert failed");
+            fid = Some(file_id);
+        }
+    }
+    let fid = fid.expect("insert completed");
+    sim.invoke(Addr(17), move |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.lookup(actx, fid);
+        });
+    });
+    sim.run_until_idle();
+    let found = sim.drain_upcalls().iter().any(|(_, _, e)| {
+        matches!(e, PastEvent::LookupDone { found: true, .. })
+    });
+    assert!(found);
+}
+
+#[test]
+fn quota_debits_and_refunds_across_the_stack() {
+    let (mut sim, _) = build_card_overlay(25, 402);
+    let k = 5u64;
+    let size = 10_000u64;
+    sim.invoke(Addr(1), move |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.insert(actx, "quota-file", size);
+        });
+    });
+    sim.run_until_idle();
+    let mut fid = None;
+    for (_, _, e) in sim.drain_upcalls() {
+        if let PastEvent::InsertDone { file_id, .. } = e {
+            fid = Some(file_id);
+        }
+    }
+    assert_eq!(
+        sim.node(Addr(1)).unwrap().app().quota().used(),
+        k * size,
+        "insert debits size x k"
+    );
+    let fid = fid.unwrap();
+    sim.invoke(Addr(1), move |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.reclaim(actx, fid);
+        });
+    });
+    sim.run_until_idle();
+    sim.drain_upcalls();
+    assert_eq!(
+        sim.node(Addr(1)).unwrap().app().quota().used(),
+        0,
+        "reclaim refunds the quota"
+    );
+}
+
+#[test]
+fn only_the_owner_can_reclaim() {
+    let (mut sim, _) = build_card_overlay(25, 403);
+    sim.invoke(Addr(1), |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.insert(actx, "mine.txt", 5_000);
+        });
+    });
+    sim.run_until_idle();
+    let mut fid = None;
+    for (_, _, e) in sim.drain_upcalls() {
+        if let PastEvent::InsertDone { file_id, .. } = e {
+            fid = Some(file_id);
+        }
+    }
+    let fid = fid.unwrap();
+    // A different node (different smartcard) tries to reclaim.
+    sim.invoke(Addr(9), move |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.reclaim(actx, fid);
+        });
+    });
+    sim.run_until_idle();
+    let rejected = sim
+        .drain_upcalls()
+        .iter()
+        .any(|(_, _, e)| matches!(e, PastEvent::ReclaimDone { ok: false, .. }));
+    assert!(rejected, "foreign reclaim must be rejected");
+    // The file is still there.
+    sim.invoke(Addr(12), move |node, ctx| {
+        node.invoke_app(ctx, |app, actx| {
+            app.lookup(actx, fid);
+        });
+    });
+    sim.run_until_idle();
+    let found = sim
+        .drain_upcalls()
+        .iter()
+        .any(|(_, _, e)| matches!(e, PastEvent::LookupDone { found: true, .. }));
+    assert!(found);
+}
+
+#[test]
+fn end_to_end_experiment_reaches_high_utilization() {
+    // A miniature version of the paper's headline result through the
+    // public experiment API.
+    let trace = WebTraceConfig::default()
+        .with_unique_files(16_600) // ~830 files/node at 20 nodes
+        .generate();
+    let cfg = ExperimentConfig {
+        nodes: 20,
+        leaf_set_size: 16,
+        ..Default::default()
+    };
+    let result = run_experiment(cfg, &trace);
+    assert!(result.final_utilization() > 0.80);
+    assert!(result.success_ratio() > 0.90);
+}
+
+#[test]
+fn erasure_coded_fragments_survive_replica_level_losses() {
+    // Store RS fragments as separate PAST files: even after losing m
+    // fragment-files entirely, the original reconstructs.
+    let (mut sim, _) = build_card_overlay(30, 405);
+    let rs = ReedSolomon::new(4, 2);
+    let original: Vec<u8> = (0..10_000u32).map(|i| (i % 251) as u8).collect();
+    let shards = rs.encode_bytes(&original);
+    let mut fragment_ids: Vec<FileId> = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let name = format!("video.mp4.frag{i}");
+        let size = shard.len() as u64;
+        sim.invoke(Addr(3), move |node, ctx| {
+            node.invoke_app(ctx, |app, actx| {
+                app.insert(actx, &name, size);
+            });
+        });
+        sim.run_until_idle();
+        for (_, _, e) in sim.drain_upcalls() {
+            if let PastEvent::InsertDone {
+                file_id,
+                success: true,
+                ..
+            } = e
+            {
+                fragment_ids.push(file_id);
+            }
+        }
+    }
+    assert_eq!(fragment_ids.len(), 6);
+    // Model the loss of two whole fragments (e.g. all their replicas
+    // reclaimed): reconstruct from the four that remain retrievable.
+    let mut received: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+    received[1] = None;
+    received[4] = None;
+    let recovered = rs.decode_bytes(&mut received, original.len()).unwrap();
+    assert_eq!(recovered, original);
+}
+
+#[test]
+fn cache_policy_none_matches_store_accounting() {
+    let trace = WebTraceConfig::default().with_unique_files(600).generate();
+    let cfg = ExperimentConfig {
+        nodes: 40,
+        leaf_set_size: 16,
+        cache_policy: CachePolicyKind::None,
+        replay_lookups: true,
+        ..Default::default()
+    };
+    let result = run_experiment(cfg, &trace);
+    assert!(result.lookups.iter().all(|l| !l.cache_hit));
+    assert!(result.lookups.iter().filter(|l| l.found).count() > 0);
+}
