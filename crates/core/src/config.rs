@@ -2,10 +2,9 @@
 
 use past_net::SimDuration;
 use past_store::{CachePolicyKind, StorePolicy};
-use serde::{Deserialize, Serialize};
 
 /// Configuration of a PAST node.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PastConfig {
     /// Replication factor `k`: copies are kept on the `k` nodes with
     /// nodeIds numerically closest to the fileId (paper default: 5,

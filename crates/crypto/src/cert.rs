@@ -9,7 +9,6 @@
 //! requested reclamation, and *reclaim receipts* let the client credit its
 //! quota.
 
-use serde::{Deserialize, Serialize};
 
 use past_id::FileId;
 
@@ -56,7 +55,7 @@ pub fn compute_file_id(name: &str, owner: &PublicKey, salt: u64) -> FileId {
 }
 
 /// A signed file certificate accompanying every insert request.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FileCertificate {
     /// Identifier derived from (name, owner, salt).
     pub file_id: FileId,
@@ -152,7 +151,7 @@ impl FileCertificate {
 
 /// A signed reclaim certificate (paper §2.2): proves the legitimate owner
 /// requested that the file's storage be reclaimed.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ReclaimCertificate {
     /// The file to reclaim.
     pub file_id: FileId,
@@ -206,7 +205,7 @@ impl ReclaimCertificate {
 
 /// A store receipt issued by each node accepting a replica; the client
 /// verifies k receipts to confirm the requested number of copies exist.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StoreReceipt {
     /// File the receipt covers.
     pub file_id: FileId,

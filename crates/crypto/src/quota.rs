@@ -6,7 +6,6 @@
 //! `file size × k` against the client's quota, and verified reclaim
 //! receipts credit it back.
 
-use serde::{Deserialize, Serialize};
 
 /// Errors from quota operations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -52,7 +51,7 @@ impl std::error::Error for QuotaError {}
 /// q.credit(5 * 100).unwrap(); // reclaim it
 /// assert_eq!(q.available(), 1000);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct QuotaLedger {
     limit: u64,
     used: u64,

@@ -12,12 +12,11 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use past_id::{FileId, NodeId, FILE_ID_BYTES};
 
 /// A 160-bit SHA-1 digest.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Digest(pub [u8; 20]);
 
 impl Digest {

@@ -36,7 +36,6 @@
 //! ```
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::sha1::{Digest, Sha1};
 use crate::u256::U256;
@@ -66,7 +65,7 @@ pub mod group {
 }
 
 /// Which signature scheme a key pair uses.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Scheme {
     /// Real Schnorr-style math over Z_p^* (slow, asymmetric).
     Schnorr,
@@ -75,7 +74,7 @@ pub enum Scheme {
 }
 
 /// A public key.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum PublicKey {
     /// y = g^x mod p.
     Schnorr(U256),
@@ -84,7 +83,7 @@ pub enum PublicKey {
 }
 
 /// A signature produced by [`KeyPair::sign`].
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum Signature {
     /// Schnorr pair (e, s): e = H(g^k ‖ m), s = k − x·e mod (p−1).
     Schnorr {

@@ -9,7 +9,6 @@
 //! attacker cannot place itself adjacent to a victim file's replicas.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use past_id::NodeId;
 
@@ -19,7 +18,7 @@ use crate::sign::{KeyPair, PublicKey, Scheme, Signature};
 
 /// A certificate binding a public key to its derived nodeId, signed by the
 /// card issuer.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct NodeIdCertificate {
     /// The card holder's public key.
     pub holder: PublicKey,

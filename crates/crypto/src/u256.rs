@@ -11,10 +11,9 @@ use std::cmp::Ordering;
 use std::fmt;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 /// A 256-bit unsigned integer stored as four little-endian 64-bit limbs.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct U256(pub [u64; 4]);
 
 impl U256 {

@@ -2,7 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 use crate::node_id::NodeId;
 
@@ -19,7 +18,7 @@ pub const FILE_ID_BYTES: usize = 20;
 ///
 /// Only the 128 most significant bits participate in routing; they form
 /// the [`NodeId`]-typed key returned by [`FileId::as_key`].
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct FileId([u8; FILE_ID_BYTES]);
 
 impl FileId {

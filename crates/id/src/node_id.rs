@@ -3,7 +3,6 @@
 use std::fmt;
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::digits::Digits;
 use crate::ring;
@@ -26,7 +25,7 @@ pub const NODE_ID_BYTES: usize = 16;
 /// identifier: PAST stores a file on the `k` nodes whose nodeIds are
 /// numerically closest to the 128 most significant bits of the fileId
 /// (see [`crate::FileId::as_key`]).
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u128);
 
 impl NodeId {

@@ -2,14 +2,13 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The emulated-network address of a node (stands in for an IP address).
 ///
 /// Addresses are dense small integers so that topologies can store
 /// coordinates in flat arrays.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default, Debug,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
 )]
 pub struct Addr(pub u32);
 

@@ -3,17 +3,16 @@
 use std::fmt;
 use std::ops::{Add, AddAssign, Sub};
 
-use serde::{Deserialize, Serialize};
 
 /// A point in simulated time, in microseconds since simulation start.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
 )]
 pub struct SimTime(pub u64);
 
 /// A span of simulated time, in microseconds.
 #[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize, Debug,
+    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Debug,
 )]
 pub struct SimDuration(pub u64);
 

@@ -1,10 +1,9 @@
 //! Pastry configuration parameters.
 
 use past_net::SimDuration;
-use serde::{Deserialize, Serialize};
 
 /// Tunable Pastry parameters (paper §2.1).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct PastryConfig {
     /// Digit width in bits; ids are strings of base-2^b digits. Typical
     /// value 4.

@@ -10,10 +10,9 @@
 
 use past_id::NodeId;
 use past_net::Addr;
-use serde::{Deserialize, Serialize};
 
 /// A known node: identifier plus network address.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
 pub struct NodeEntry {
     /// The node's Pastry identifier.
     pub id: NodeId,

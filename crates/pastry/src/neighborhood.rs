@@ -5,12 +5,11 @@
 //! routing-table construction during node addition and recovery.
 
 use past_id::NodeId;
-use serde::{Deserialize, Serialize};
 
 use crate::leaf_set::NodeEntry;
 
 /// One neighborhood member with its proximity to the owner.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct Neighbor {
     /// The member node.
     pub entry: NodeEntry,

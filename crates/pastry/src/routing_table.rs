@@ -8,12 +8,11 @@
 //! the proximity metric* — the source of its locality properties.
 
 use past_id::{Digits, NodeId};
-use serde::{Deserialize, Serialize};
 
 use crate::leaf_set::NodeEntry;
 
 /// One routing-table cell: a known node plus its measured proximity.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RouteCell {
     /// The referenced node.
     pub entry: NodeEntry,

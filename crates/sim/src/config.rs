@@ -5,10 +5,9 @@ use past_net::SimDuration;
 use past_pastry::PastryConfig;
 use past_store::{CachePolicyKind, StorePolicy};
 use past_workload::CapacityDistribution;
-use serde::{Deserialize, Serialize};
 
 /// Which topology the overlay runs on.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub enum TopologyKind {
     /// Uniform random placement in the unit square.
     Euclidean,
@@ -20,7 +19,7 @@ pub enum TopologyKind {
 }
 
 /// Full configuration of one experiment run.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Number of PAST nodes (the paper fixes 2250).
     pub nodes: usize,

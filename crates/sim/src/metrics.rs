@@ -2,11 +2,10 @@
 //! tables and figures from one experiment run.
 
 use past_core::HitKind;
-use serde::{Deserialize, Serialize};
 
 /// A running-total sample taken at each insert completion, giving the
 /// exact Figure 5 curve (cumulative diverted / stored replicas).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct ReplicaSample {
     /// Global storage utilization at the sample.
     pub utilization: f64,
@@ -17,7 +16,7 @@ pub struct ReplicaSample {
 }
 
 /// One insert's outcome, recorded at completion time.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct InsertRecord {
     /// Global storage utilization (0..=1) when the insert completed.
     pub utilization: f64,
@@ -31,7 +30,7 @@ pub struct InsertRecord {
 }
 
 /// One lookup's outcome.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct LookupRecord {
     /// Global storage utilization when the lookup completed.
     pub utilization: f64,
@@ -44,7 +43,7 @@ pub struct LookupRecord {
 }
 
 /// Aggregated result of one experiment run.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct ExperimentResult {
     /// Per-insert records in completion order.
     pub inserts: Vec<InsertRecord>,

@@ -35,7 +35,7 @@ impl Ord for Priority {
 }
 
 /// Which replacement policy a cache runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum CachePolicyKind {
     /// GreedyDual-Size with unit cost (the paper's choice).
     GreedyDualSize,

@@ -19,12 +19,11 @@ use std::collections::HashMap;
 
 use past_crypto::FileCertificate;
 use past_id::FileId;
-use serde::{Deserialize, Serialize};
 
 use crate::cache::{Cache, CachePolicyKind};
 
 /// Storage-management thresholds (paper §3.3.1).
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct StorePolicy {
     /// Acceptance threshold for primary replicas: reject file D at node N
     /// when `size(D)/free(N) > t_pri`.

@@ -14,7 +14,6 @@
 //! | d4   | 27 | 54.0 | 1     | 53    |
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 
 use crate::dist::TruncatedNormal;
 
@@ -22,7 +21,7 @@ use crate::dist::TruncatedNormal;
 pub const MB: u64 = 1 << 20;
 
 /// A named truncated-normal capacity distribution.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CapacityDistribution {
     /// Display name ("d1" … "d4" or custom).
     pub name: String,

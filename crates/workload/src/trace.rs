@@ -5,12 +5,11 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use crate::dist::{SizeModel, Zipf};
 
 /// A file in a workload: logical name index and size in bytes.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct FileSpec {
     /// Dense index; the file's textual name is `format!("f{index}")`.
     pub index: u32,
@@ -28,7 +27,7 @@ impl FileSpec {
 /// One trace record: a client references a file. The first reference to
 /// a file is an insert; subsequent references are lookups (exactly how
 /// the paper replays the NLANR log).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceOp {
     /// Issuing client (0-based).
     pub client: u32,
@@ -39,7 +38,7 @@ pub struct TraceOp {
 }
 
 /// A complete workload trace.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Trace {
     /// File population (index-aligned).
     pub files: Vec<FileSpec>,
@@ -97,7 +96,7 @@ impl Trace {
 /// 775 clients spread over 8 geographically distributed sites; Zipf-like
 /// request popularity. Scale down via `unique_files` while keeping every
 /// ratio intact.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct WebTraceConfig {
     /// Number of unique files (the paper's trace: 1,863,055).
     pub unique_files: usize,
@@ -260,7 +259,7 @@ impl WebTraceConfig {
 /// Generator for the filesystem workload: insert-only, heavier-tailed
 /// sizes (paper: 2,027,908 files, 166.6 GB, mean 88,233 B, median
 /// 4,578 B, max 2.7 GB).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct FsTraceConfig {
     /// Number of files.
     pub files: usize,

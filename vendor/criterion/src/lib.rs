@@ -1,0 +1,211 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface used by this workspace's `harness = false`
+//! benches — [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`] and the
+//! [`criterion_group!`]/[`criterion_main!`] macros — but replaces
+//! criterion's statistical engine with a single timed batch per
+//! benchmark. Good enough to smoke-run `cargo bench` and keep benches
+//! compiling under clippy; not a measurement tool. Serious replay
+//! throughput numbers come from the `BENCH_replay.json` reporter in
+//! `past-bench` instead.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped (accepted for API compatibility;
+/// every batch size runs the same way here).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration setup values.
+    SmallInput,
+    /// Large per-iteration setup values.
+    LargeInput,
+    /// Fresh setup for every routine call.
+    PerIteration,
+}
+
+/// Declared throughput of a benchmark, echoed in the report line.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Iteration driver handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total_ns: u128 = 0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            total_ns += start.elapsed().as_nanos();
+        }
+        self.elapsed_ns = total_ns;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let iters = std::env::var("CRITERION_STUB_ITERS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(10);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Runs and reports a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), self.iters, None, f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl std::fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            iters: self.iters,
+            throughput: None,
+            _parent: std::marker::PhantomData,
+        }
+    }
+}
+
+/// A named group sharing sample-size and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    throughput: Option<Throughput>,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (mapped directly to iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = n as u64;
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.iters, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (no-op; for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, iters: u64, throughput: Option<Throughput>, mut f: F) {
+    let mut b = Bencher {
+        iters,
+        elapsed_ns: 0,
+    };
+    f(&mut b);
+    let per_iter_ns = b.elapsed_ns as f64 / iters.max(1) as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:.1} MiB/s", n as f64 / (per_iter_ns / 1e9) / (1024.0 * 1024.0))
+        }
+        Some(Throughput::Elements(n)) => {
+            format!("  {:.0} elem/s", n as f64 / (per_iter_ns / 1e9))
+        }
+        None => String::new(),
+    };
+    println!("bench {label}: {per_iter_ns:.0} ns/iter ({iters} iters){rate}");
+}
+
+/// Declares a function that runs each listed benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        Criterion { iters: 3 }.bench_function("t", |b| {
+            b.iter(|| ran += 1);
+        });
+        assert_eq!(ran, 3);
+    }
+
+    #[test]
+    fn group_batched_runs_setup_per_iter() {
+        let mut c = Criterion { iters: 4 };
+        let mut setups = 0u64;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(4).throughput(Throughput::Bytes(1));
+        g.bench_function("b", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                },
+                |_| {},
+                BatchSize::SmallInput,
+            );
+        });
+        g.finish();
+        assert_eq!(setups, 4);
+    }
+}

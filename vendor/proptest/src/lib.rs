@@ -1,0 +1,317 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset used by this workspace's tests: the
+//! [`proptest!`] macro over `name in strategy` / `name: Type` argument
+//! lists, integer-range and `any::<T>()` strategies,
+//! `prop::collection::vec`, `prop::sample::select`, and the
+//! `prop_assert*` macros.
+//!
+//! Unlike upstream there is no shrinking and no persisted failure
+//! files: each property runs a fixed number of deterministically
+//! seeded cases (default 96, override with `PROPTEST_CASES`), so
+//! failures reproduce exactly across runs.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A source of values for property tests.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this stand-in only ever samples.
+pub trait Strategy {
+    /// The value type produced.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, u128, usize, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_prim {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_prim!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool, f64, f32);
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..64);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+macro_rules! impl_arbitrary_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+impl_arbitrary_tuple!(A, B);
+impl_arbitrary_tuple!(A, B, C);
+impl_arbitrary_tuple!(A, B, C, D);
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy drawing any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_strategy_tuple {
+    ($(($name:ident, $idx:tt)),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!((A, 0), (B, 1));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2));
+impl_strategy_tuple!((A, 0), (B, 1), (C, 2), (D, 3));
+
+/// Combinator strategies (`prop::collection`, `prop::sample`).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy producing `Vec`s with lengths drawn from a range.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: std::ops::Range<usize>,
+        }
+
+        /// Vec of values from `element`, length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                let n = rng.gen_range(self.len.clone());
+                (0..n).map(|_| self.element.sample(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy choosing uniformly from a fixed set.
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniform choice from `options` (must be non-empty).
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select: empty options");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn sample(&self, rng: &mut StdRng) -> T {
+                self.0[rng.gen_range(0..self.0.len())].clone()
+            }
+        }
+    }
+}
+
+/// Number of cases per property (`PROPTEST_CASES`, default 96).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(96)
+}
+
+/// Deterministic per-property RNG, varied by the property name.
+pub fn case_rng(property: &str, case: u32) -> StdRng {
+    // FNV-1a over the property name keeps distinct properties on
+    // distinct streams while staying reproducible run to run.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Common imports for property tests.
+pub mod prelude {
+    pub use super::{any, prop, Arbitrary, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Skips the current case when the assumption does not hold.
+///
+/// Expands to a `continue` of the enclosing case loop generated by
+/// [`proptest!`], so it is only usable inside a property body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
+}
+
+/// Asserts a condition inside a property (panics on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Defines `#[test]` functions that run a body over sampled inputs.
+///
+/// Supports the upstream surface used in this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn holds(x in 0u64..100, ys in prop::collection::vec(any::<u8>(), 0..32)) { ... }
+///     #[test]
+///     fn also_holds(v: u64) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // Entry: munch one fn item at a time.
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($args:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::cases();
+            for case in 0..cases {
+                let mut proptest_rng = $crate::case_rng(stringify!($name), case);
+                $crate::__proptest_bind!(proptest_rng, $($args)*);
+                $body
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}
+
+/// Internal: binds one argument list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident $(,)?) => {};
+    ($rng:ident, mut $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $var = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident in $strat:expr $(, $($rest:tt)*)?) => {
+        let $var = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, mut $var:ident: $ty:ty $(, $($rest:tt)*)?) => {
+        #[allow(unused_mut)]
+        let mut $var: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+    ($rng:ident, $var:ident: $ty:ty $(, $($rest:tt)*)?) => {
+        let $var: $ty = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng $(, $($rest)*)?);
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn range_strategy_bounds(x in 10u64..20) {
+            prop_assert!((10..20).contains(&x));
+        }
+
+        #[test]
+        fn typed_args(a: u32, b: bool) {
+            let _ = (a, b);
+        }
+
+        #[test]
+        fn vec_strategy(v in prop::collection::vec(any::<u8>(), 0..8)) {
+            prop_assert!(v.len() < 8);
+        }
+
+        #[test]
+        fn select_strategy(x in prop::sample::select(vec![1u8, 3, 5])) {
+            prop_assert!(x == 1 || x == 3 || x == 5);
+        }
+    }
+
+    #[test]
+    fn cases_deterministic() {
+        let a: u64 = crate::Strategy::sample(&(0u64..1000), &mut crate::case_rng("p", 0));
+        let b: u64 = crate::Strategy::sample(&(0u64..1000), &mut crate::case_rng("p", 0));
+        assert_eq!(a, b);
+    }
+}
