@@ -1,0 +1,188 @@
+//! Availability under churn: lookup success rate and
+//! time-to-rereplication across a (churn rate × message loss) grid.
+//!
+//! For each cell the overlay absorbs 60 s of Poisson churn (plus global
+//! message loss) while serving lookups, then the faults stop and the
+//! harness measures how long the maintenance plane takes to restore the
+//! k-copies invariant (the auditor's replication check). Results go to
+//! stdout, `results/churn_availability.csv`, and `BENCH_churn.json`.
+//!
+//! Environment knobs: `PAST_CHURN_NODES` (default 30) and
+//! `PAST_CHURN_FILES` (default 8).
+
+use std::io::Write as _;
+
+use past_net::{FaultPlan, SimDuration};
+use past_sim::{ChurnConfig, ChurnRunner};
+
+use past_bench::{print_table, write_csv};
+
+struct Cell {
+    mtbf_s: u64,
+    loss: f64,
+    lookups: usize,
+    lookups_ok: usize,
+    rereplication_s: Option<f64>,
+    under_replicated: usize,
+    maint_sent: u64,
+    maint_retries: u64,
+    maint_exhausted: u64,
+    crashes: u64,
+    lost: u64,
+}
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
+    let mut cfg = ChurnConfig {
+        nodes,
+        files,
+        seed: (1000 + mtbf_s) ^ (loss * 100.0) as u64,
+        ..Default::default()
+    };
+    // Anti-entropy backs up the acked retries during sustained churn.
+    cfg.past.anti_entropy_period = SimDuration::from_secs(10);
+    let mut r = ChurnRunner::build(cfg);
+    let inserted = r.insert_files();
+    assert!(inserted > 0, "no insert succeeded before churn");
+
+    // 60 s churn window: 10 s head start, then 20 lookups spaced 2 s
+    // apart run *inside* the window (the fault plan stays installed
+    // until heal clears it), then the final 10 s play out.
+    let churn_span = SimDuration::from_secs(60);
+    let plan = r.poisson_plan(
+        SimDuration::from_secs(mtbf_s),
+        SimDuration::from_secs(15),
+        churn_span,
+    );
+    r.sim_mut().set_loss_probability(loss);
+    r.run_with_faults(plan, SimDuration::from_secs(10));
+    r.lookup_round(20, SimDuration::from_secs(2));
+    r.sim_mut().run_for(SimDuration::from_secs(10));
+    let (lookups, lookups_ok) = r.lookup_totals();
+
+    // Faults stop but the currently-dead nodes STAY dead (clearing the
+    // plan cancels their pending recoveries): time-to-rereplication is
+    // how long maintenance takes to restore min(k, live) copies on the
+    // survivors. Healing first would be trivial — recovered nodes bring
+    // their replicas back with them.
+    r.sim_mut().set_loss_probability(0.0);
+    r.run_with_faults(FaultPlan::new(), SimDuration::ZERO);
+    let repaired = r.time_to_full_replication(
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(300),
+    );
+    r.heal(SimDuration::from_secs(10));
+    let report = r.audit();
+    let maint = r.maint_totals();
+    let net = r.net_stats();
+    Cell {
+        mtbf_s,
+        loss,
+        lookups,
+        lookups_ok,
+        rereplication_s: repaired.map(|d| d.micros() as f64 / 1e6),
+        under_replicated: report.under_replicated.len(),
+        maint_sent: maint.sent,
+        maint_retries: maint.retries,
+        maint_exhausted: maint.exhausted,
+        crashes: net.crashes,
+        lost: net.lost,
+    }
+}
+
+fn main() {
+    let nodes = env_usize("PAST_CHURN_NODES", 30);
+    let files = env_usize("PAST_CHURN_FILES", 8);
+    let mtbfs = [240u64, 120, 60];
+    let losses = [0.0f64, 0.05, 0.1];
+
+    let mut cells = Vec::new();
+    for &mtbf in &mtbfs {
+        for &loss in &losses {
+            eprintln!("churn cell: mtbf={mtbf}s loss={loss} ...");
+            cells.push(run_cell(nodes, files, mtbf, loss));
+        }
+    }
+
+    let header: Vec<String> = [
+        "mtbf (s)",
+        "loss",
+        "lookup ok",
+        "rereplication (s)",
+        "under-rep",
+        "maint sent",
+        "retries",
+        "exhausted",
+        "crashes",
+        "lost msgs",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.mtbf_s.to_string(),
+                format!("{:.2}", c.loss),
+                format!("{}/{}", c.lookups_ok, c.lookups),
+                c.rereplication_s
+                    .map(|s| format!("{s:.1}"))
+                    .unwrap_or_else(|| "timeout".into()),
+                c.under_replicated.to_string(),
+                c.maint_sent.to_string(),
+                c.maint_retries.to_string(),
+                c.maint_exhausted.to_string(),
+                c.crashes.to_string(),
+                c.lost.to_string(),
+            ]
+        })
+        .collect();
+    print_table("Availability under churn", &header, &rows);
+    write_csv("churn_availability", &header, &rows);
+
+    // Hand-rolled JSON (the workspace has no serde): one object per
+    // grid cell, machine-readable for downstream tooling.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"churn_availability\",\n");
+    json.push_str(&format!("  \"nodes\": {nodes},\n  \"files\": {files},\n"));
+    json.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let rate = if c.lookups > 0 {
+            c.lookups_ok as f64 / c.lookups as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"mtbf_s\": {}, \"loss\": {:.2}, \"lookups\": {}, \
+             \"lookup_success_rate\": {:.4}, \"time_to_rereplication_s\": {}, \
+             \"under_replicated_after_heal\": {}, \"maint_sent\": {}, \
+             \"maint_retries\": {}, \"maint_exhausted\": {}, \
+             \"crashes\": {}, \"lost_messages\": {}}}{}\n",
+            c.mtbf_s,
+            c.loss,
+            c.lookups,
+            rate,
+            c.rereplication_s
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_else(|| "null".into()),
+            c.under_replicated,
+            c.maint_sent,
+            c.maint_retries,
+            c.maint_exhausted,
+            c.crashes,
+            c.lost,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create("BENCH_churn.json").expect("create BENCH_churn.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_churn.json");
+    eprintln!("wrote BENCH_churn.json");
+}

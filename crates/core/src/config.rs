@@ -32,6 +32,24 @@ pub struct PastConfig {
     pub migration_period: SimDuration,
     /// Maximum files migrated per sweep.
     pub migration_batch: usize,
+    /// Ack timeout for reliable maintenance traffic (`ReplicaTransfer`,
+    /// `InstallPointer`, `FetchReplica`, `Discard`). Each unacked send
+    /// is retransmitted after this timeout, doubling on every retry.
+    /// Zero reverts maintenance to fire-and-forget.
+    pub maint_ack_timeout: SimDuration,
+    /// Maximum retransmissions per maintenance message before the
+    /// repair is abandoned (reported as `PastEvent::MaintExhausted`).
+    pub maint_retry_budget: u32,
+    /// Period of the anti-entropy sweep: each node re-audits a batch of
+    /// its primary replicas against the current replica set and
+    /// re-issues repairs ("slow repair"). Zero disables the sweep —
+    /// the default, because the periodic timer keeps the event queue
+    /// non-empty, which static experiments driving the simulator with
+    /// `run_until_idle` cannot tolerate. Bounded (`run_for`) churn
+    /// experiments enable it.
+    pub anti_entropy_period: SimDuration,
+    /// Maximum primaries re-audited per anti-entropy sweep.
+    pub anti_entropy_batch: usize,
 }
 
 impl Default for PastConfig {
@@ -45,6 +63,10 @@ impl Default for PastConfig {
             client_timeout: SimDuration::ZERO,
             migration_period: SimDuration::ZERO,
             migration_batch: 4,
+            maint_ack_timeout: SimDuration::from_secs(2),
+            maint_retry_budget: 5,
+            anti_entropy_period: SimDuration::ZERO,
+            anti_entropy_batch: 8,
         }
     }
 }

@@ -38,7 +38,7 @@ impl PastNode {
         }
         // Rare fileId collisions are detected and lead to the rejection
         // of the later-inserted file.
-        if self.store.holds_replica(file_id) || self.coords.contains_key(&req.key()) {
+        if self.store.holds_replica(file_id) {
             self.send_to(
                 ctx,
                 req.client,
@@ -52,11 +52,26 @@ impl PastNode {
             );
             return;
         }
+        if let Some(existing) = self.coords.get(&req.key()) {
+            if existing.file_id == file_id {
+                // Duplicate delivery (per-hop retransmission) of a
+                // request we are already coordinating: ignore it.
+                return;
+            }
+            // A leftover coordinator from an earlier attempt of the same
+            // client op (re-salted attempts reuse the request seq).
+            // Abort it before coordinating the new attempt.
+            let stale = self.coords.remove(&req.key()).expect("present");
+            for node in stale.stored {
+                self.send_discard(ctx, node, stale.file_id);
+            }
+        }
         let candidates = ctx.replica_candidates(file_id.as_key(), self.cfg.k as usize);
         let own = ctx.own();
         self.coords.insert(
             req.key(),
             InsertCoord {
+                file_id,
                 expected: candidates.clone(),
                 receipts: Vec::new(),
                 stored: Vec::new(),
@@ -245,7 +260,7 @@ impl PastNode {
                 if c_node.id != own.id && c_node.id != holder.id && kplus1.len() > self.cfg.k as usize
                 {
                     self.pointer_backup_at.insert(file_id, c_node);
-                    self.send_to(
+                    self.send_maint(
                         ctx,
                         c_node,
                         MsgKind::InstallPointer {
@@ -270,8 +285,12 @@ impl PastNode {
 
     /// Installs a pointer received from a diverting node (backup C role)
     /// or from a displaced node during maintenance (regular A role).
+    /// `from` is the installing node; for backups it identifies the
+    /// diverting node A, so the pointer is promoted only when *that*
+    /// node fails.
     pub(crate) fn on_install_pointer(
         &mut self,
+        from: NodeEntry,
         file_id: FileId,
         holder: NodeEntry,
         backup: bool,
@@ -280,6 +299,7 @@ impl PastNode {
         if backup {
             self.store.install_backup_pointer(file_id, holder);
             self.backup_certs.insert(file_id, cert);
+            self.backup_owner.insert(file_id, from.id);
         } else {
             self.store.install_pointer(file_id, holder);
             self.pointer_certs.insert(file_id, cert);
@@ -333,8 +353,11 @@ impl PastNode {
         storer: NodeEntry,
     ) {
         let coord = match self.coords.get_mut(&req.key()) {
-            Some(c) => c,
-            None => {
+            // A coordinator for a *different* fileId under the same key
+            // belongs to a later re-salted attempt; results from the
+            // aborted earlier attempt must not touch it.
+            Some(c) if c.file_id == file_id => c,
+            _ => {
                 // The attempt was already aborted; a straggler stored a
                 // replica that must now be discarded.
                 if receipt.is_some() {
@@ -389,12 +412,13 @@ impl PastNode {
         }
     }
 
-    /// Sends a discard, handling the self-addressed case inline.
+    /// Sends a discard (reliably), handling the self-addressed case
+    /// inline.
     pub(crate) fn send_discard(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry, file_id: FileId) {
         if node.id == ctx.own().id {
             self.on_discard(ctx, file_id);
         } else {
-            self.send_to(ctx, node, MsgKind::Discard { file_id });
+            self.send_maint(ctx, node, MsgKind::Discard { file_id });
         }
     }
 
@@ -411,13 +435,14 @@ impl PastNode {
         }
         if let Some(holder) = self.store.remove_pointer(file_id) {
             self.pointer_certs.remove(&file_id);
-            self.send_to(ctx, holder, MsgKind::Discard { file_id });
+            self.send_maint(ctx, holder, MsgKind::Discard { file_id });
             if let Some(c_node) = self.pointer_backup_at.remove(&file_id) {
-                self.send_to(ctx, c_node, MsgKind::Discard { file_id });
+                self.send_maint(ctx, c_node, MsgKind::Discard { file_id });
             }
         }
         if self.store.remove_backup_pointer(file_id).is_some() {
             self.backup_certs.remove(&file_id);
+            self.backup_owner.remove(&file_id);
         }
         // Pending diversion for an aborted insert: drop silently; a late
         // DivertResult will find no pending entry and be ignored, and the

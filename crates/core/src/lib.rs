@@ -31,7 +31,7 @@ mod reclaim;
 pub use config::PastConfig;
 pub use events::PastEvent;
 pub use messages::{HitKind, MsgKind, PastMsg, ReqId};
-pub use node::PastNode;
+pub use node::{MaintStats, PastNode};
 
 /// A PAST node hosted on the Pastry overlay (what the simulator runs).
 pub type PastOverlayNode = past_pastry::PastryNode<PastNode>;

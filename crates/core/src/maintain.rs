@@ -8,9 +8,77 @@ use past_pastry::NodeEntry;
 
 use crate::events::PastEvent;
 use crate::messages::MsgKind;
-use crate::node::{PCtx, PastNode};
+use crate::node::{PCtx, PastNode, PendingMaint, MAINT_RETRY_BASE};
 
 impl PastNode {
+    /// Sends a maintenance message reliably: enveloped with a sequence
+    /// number, retransmitted with exponential backoff until the
+    /// receiver acks or the retry budget runs out. Falls back to
+    /// fire-and-forget when `maint_ack_timeout` is zero.
+    pub(crate) fn send_maint(&mut self, ctx: &mut PCtx<'_, '_>, to: NodeEntry, kind: MsgKind) {
+        self.maint_stats.sent += 1;
+        if self.cfg.maint_ack_timeout.micros() == 0 {
+            self.send_to(ctx, to, kind);
+            return;
+        }
+        let seq = self.next_maint_seq;
+        self.next_maint_seq += 1;
+        self.maint_pending.insert(
+            seq,
+            PendingMaint {
+                to,
+                kind: kind.clone(),
+                attempts: 0,
+                backoff: self.cfg.maint_ack_timeout,
+            },
+        );
+        self.send_to(
+            ctx,
+            to,
+            MsgKind::MaintSeq {
+                seq,
+                inner: Box::new(kind),
+            },
+        );
+        ctx.set_app_timer(self.cfg.maint_ack_timeout, MAINT_RETRY_BASE + seq);
+    }
+
+    /// The receiver acknowledged maintenance message `seq`.
+    pub(crate) fn on_maint_ack(&mut self, seq: u64) {
+        if self.maint_pending.remove(&seq).is_some() {
+            self.maint_stats.acked += 1;
+        }
+    }
+
+    /// The ack timer for maintenance message `seq` fired: retransmit
+    /// with doubled backoff, or give up once the budget is spent.
+    pub(crate) fn on_maint_retry(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64) {
+        let entry = match self.maint_pending.get_mut(&seq) {
+            Some(e) => e,
+            None => return, // Acked before the timer fired.
+        };
+        if entry.attempts >= self.cfg.maint_retry_budget {
+            let entry = self.maint_pending.remove(&seq).expect("present");
+            self.maint_stats.exhausted += 1;
+            if let Some(file_id) = entry.kind.maint_file_id() {
+                ctx.emit(PastEvent::MaintExhausted { file_id });
+            }
+            return;
+        }
+        entry.attempts += 1;
+        entry.backoff = entry.backoff + entry.backoff;
+        let (to, kind, backoff) = (entry.to, entry.kind.clone(), entry.backoff);
+        self.maint_stats.retries += 1;
+        self.send_to(
+            ctx,
+            to,
+            MsgKind::MaintSeq {
+                seq,
+                inner: Box::new(kind),
+            },
+        );
+        ctx.set_app_timer(backoff, MAINT_RETRY_BASE + seq);
+    }
     /// A node entered this node's leaf set. For every primary replica
     /// whose replica set now includes the newcomer *instead of* this
     /// node, install a pointer on the newcomer (semantically a replica
@@ -38,7 +106,7 @@ impl PastNode {
             // referring to the node that has just ceased to be one of the
             // k numerically closest, and requiring that node to keep the
             // replica."
-            self.send_to(
+            self.send_maint(
                 ctx,
                 node,
                 MsgKind::InstallPointer {
@@ -82,51 +150,75 @@ impl PastNode {
             }
         }
         for (node, cert) in to_restore {
-            self.send_to(ctx, node, MsgKind::ReplicaTransfer { cert });
+            self.send_maint(ctx, node, MsgKind::ReplicaTransfer { cert });
         }
         // (b) A→B pointers whose holder B failed: the diverted replica is
-        // lost; re-create it (locally if possible, else divert again).
-        let lost: Vec<(FileId, FileCertificate)> = self
+        // lost; re-create it (locally if possible, else divert again). A
+        // pointer whose certificate went missing cannot be repaired —
+        // skip it with an event rather than panicking on the map lookup.
+        let lost: Vec<(FileId, Option<FileCertificate>)> = self
             .store
             .pointers()
             .filter(|(_, holder)| holder.id == failed.id)
-            .map(|(id, _)| (*id, self.pointer_certs[id].clone()))
+            .map(|(id, _)| (*id, self.pointer_certs.get(id).cloned()))
             .collect();
         for (file_id, cert) in lost {
             self.store.remove_pointer(file_id);
             self.pointer_certs.remove(&file_id);
             if let Some(c_node) = self.pointer_backup_at.remove(&file_id) {
-                self.send_to(ctx, c_node, MsgKind::Discard { file_id });
+                self.send_maint(ctx, c_node, MsgKind::Discard { file_id });
             }
-            // Re-create the replica: §3.3's machinery is reused with no
-            // coordinator (no receipts at maintenance time).
-            self.attempt_store(ctx, None, cert, None);
+            match cert {
+                // Re-create the replica: §3.3's machinery is reused with
+                // no coordinator (no receipts at maintenance time).
+                Some(cert) => self.attempt_store(ctx, None, cert, None),
+                None => ctx.emit(PastEvent::MaintSkipped {
+                    file_id,
+                    context: "pointer without certificate",
+                }),
+            }
         }
-        // (c) Backup pointers installed by a failed diverting node A:
+        // (c) Backup pointers installed by the failed diverting node A:
         // promote them to regular pointers so the diverted replica at B
-        // stays reachable from this (responsible) node.
+        // stays reachable from this node. Only pointers whose recorded
+        // installer is the failed node are promoted; backups for live
+        // diverting nodes stay backups.
         let promoted: Vec<(FileId, NodeEntry)> = self
             .store
             .backup_pointers()
-            .filter(|(id, _)| {
-                // Promote only when A failed; we approximate "A failed"
-                // by checking whether we now lack any pointer for a file
-                // whose backup we hold and whose responsible set includes
-                // us. Conservatively promote on any neighbor failure when
-                // we are among the k closest.
-                let key = id.as_key();
-                ctx.is_among_k_closest(key, k + 1)
+            .filter(|(id, holder)| {
+                holder.id != failed.id && self.backup_owner.get(*id) == Some(&failed.id)
             })
             .map(|(id, holder)| (*id, *holder))
             .collect();
-        let _ = failed;
         for (file_id, holder) in promoted {
             if self.store.remove_backup_pointer(file_id).is_some() {
-                if let Some(cert) = self.backup_certs.remove(&file_id) {
-                    self.store.install_pointer(file_id, holder);
-                    self.pointer_certs.insert(file_id, cert);
+                self.backup_owner.remove(&file_id);
+                match self.backup_certs.remove(&file_id) {
+                    Some(cert) => {
+                        self.store.install_pointer(file_id, holder);
+                        self.pointer_certs.insert(file_id, cert);
+                    }
+                    None => ctx.emit(PastEvent::MaintSkipped {
+                        file_id,
+                        context: "backup pointer without certificate",
+                    }),
                 }
             }
+        }
+        // (d) Backup pointers whose replica holder B failed reference a
+        // replica that no longer exists; A's branch (b) re-creates it,
+        // so the stale backup is dropped here.
+        let stale: Vec<FileId> = self
+            .store
+            .backup_pointers()
+            .filter(|(_, holder)| holder.id == failed.id)
+            .map(|(id, _)| *id)
+            .collect();
+        for file_id in stale {
+            self.store.remove_backup_pointer(file_id);
+            self.backup_certs.remove(&file_id);
+            self.backup_owner.remove(&file_id);
         }
     }
 
@@ -140,7 +232,7 @@ impl PastNode {
     ) {
         if let Some(replica) = self.store.replica(file_id) {
             let cert = replica.cert.clone();
-            self.send_to(ctx, from, MsgKind::ReplicaTransfer { cert });
+            self.send_maint(ctx, from, MsgKind::ReplicaTransfer { cert });
         }
     }
 
@@ -206,7 +298,62 @@ impl PastNode {
         for (file_id, holder) in batch {
             // Only migrate files this node should hold itself.
             if ctx.is_among_k_closest(file_id.as_key(), self.cfg.k as usize) {
-                self.send_to(ctx, holder, MsgKind::FetchReplica { file_id });
+                self.send_maint(ctx, holder, MsgKind::FetchReplica { file_id });
+            }
+        }
+    }
+
+    /// Anti-entropy sweep (LOCKSS-style "slow repair"): re-audit a
+    /// bounded, round-robin batch of this node's primary replicas
+    /// against the current replica set and re-ship copies to every
+    /// current candidate. Receivers deduplicate (and answer with
+    /// `MigrationDone` when the sender should migrate the file away),
+    /// so repeated sweeps converge without amplification; the batch
+    /// limit is the rate limit. This is the slow path that eventually
+    /// restores `k` replicas even when the event-driven repairs of
+    /// [`Self::handle_neighbor_removed`] were lost or exhausted their
+    /// retries.
+    pub(crate) fn anti_entropy_sweep(&mut self, ctx: &mut PCtx<'_, '_>) {
+        let k = self.cfg.k as usize;
+        let own = ctx.own();
+        // Local hygiene first: certificates whose pointer is gone (or
+        // vice versa, pointers whose certificate is gone) are repaired
+        // by dropping the orphaned half.
+        self.pointer_certs
+            .retain(|id, _| self.store.pointer(*id).is_some());
+        self.backup_certs
+            .retain(|id, _| self.store.backup_pointer(*id).is_some());
+        self.backup_owner
+            .retain(|id, _| self.store.backup_pointer(*id).is_some());
+        let mut ids: Vec<FileId> = self.store.primaries().map(|(id, _)| *id).collect();
+        if ids.is_empty() {
+            return;
+        }
+        ids.sort();
+        // Resume after the cursor, wrapping, so every file is audited
+        // once per full rotation regardless of the batch size.
+        let start = match self.anti_entropy_cursor {
+            Some(cursor) => ids.partition_point(|id| *id <= cursor),
+            None => 0,
+        };
+        let take = ids.len().min(self.cfg.anti_entropy_batch);
+        let batch: Vec<FileId> = ids
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(take)
+            .copied()
+            .collect();
+        self.anti_entropy_cursor = batch.last().copied();
+        for file_id in batch {
+            let cert = match self.store.replica(file_id) {
+                Some(r) => r.cert.clone(),
+                None => continue,
+            };
+            for node in ctx.replica_candidates(file_id.as_key(), k) {
+                if node.id != own.id {
+                    self.send_maint(ctx, node, MsgKind::ReplicaTransfer { cert: cert.clone() });
+                }
             }
         }
     }

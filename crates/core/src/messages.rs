@@ -214,6 +214,38 @@ pub enum MsgKind {
         /// File concerned.
         file_id: FileId,
     },
+    /// Reliable-delivery envelope for maintenance traffic
+    /// (`ReplicaTransfer`, `InstallPointer`, `FetchReplica`,
+    /// `Discard`): the sender retransmits `inner` with exponential
+    /// backoff until a matching [`MsgKind::MaintAck`] arrives or its
+    /// retry budget is exhausted.
+    MaintSeq {
+        /// Sender-local maintenance sequence number.
+        seq: u64,
+        /// The enveloped maintenance message.
+        inner: Box<MsgKind>,
+    },
+    /// Receiver → sender: acknowledges receipt of `MaintSeq { seq }`.
+    MaintAck {
+        /// The acknowledged sequence number.
+        seq: u64,
+    },
+}
+
+impl MsgKind {
+    /// The file a maintenance message concerns, for skip/give-up
+    /// reporting (`None` for non-maintenance kinds).
+    pub fn maint_file_id(&self) -> Option<FileId> {
+        match self {
+            MsgKind::InstallPointer { file_id, .. }
+            | MsgKind::Discard { file_id }
+            | MsgKind::FetchReplica { file_id }
+            | MsgKind::MigrationDone { file_id } => Some(*file_id),
+            MsgKind::ReplicaTransfer { cert } => Some(cert.file_id),
+            MsgKind::MaintSeq { inner, .. } => inner.maint_file_id(),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]

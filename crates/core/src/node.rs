@@ -18,8 +18,12 @@ pub(crate) type PCtx<'a, 'b> = AppCtx<'a, 'b, PastMsg, PastEvent>;
 
 /// Timer token for the background migration sweep.
 pub(crate) const MIGRATION_TOKEN: u64 = 0;
+/// Timer token for the anti-entropy sweep.
+pub(crate) const ANTI_ENTROPY_TOKEN: u64 = 1;
 /// Client timeout tokens: `TIMEOUT_BASE + seq`.
 pub(crate) const TIMEOUT_BASE: u64 = 1 << 20;
+/// Maintenance retransmission tokens: `MAINT_RETRY_BASE + maint seq`.
+pub(crate) const MAINT_RETRY_BASE: u64 = 1 << 36;
 
 /// A client operation awaiting completion.
 #[derive(Clone, Debug)]
@@ -50,6 +54,10 @@ pub(crate) enum PendingOp {
 /// Coordinator-side state for one insert attempt.
 #[derive(Clone, Debug)]
 pub(crate) struct InsertCoord {
+    /// The fileId this coordinator is inserting. Re-salted attempts
+    /// reuse the client's request seq, so results from an earlier
+    /// attempt that raced to the same root must not be credited here.
+    pub file_id: FileId,
     /// The replica set this coordinator selected.
     pub expected: Vec<NodeEntry>,
     /// Receipts collected so far.
@@ -69,6 +77,32 @@ pub(crate) struct PendingDiversion {
     pub coordinator: Option<NodeEntry>,
 }
 
+/// Counters for the reliable maintenance plane.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintStats {
+    /// Maintenance messages sent (first transmissions).
+    pub sent: u64,
+    /// Retransmissions after a missed ack.
+    pub retries: u64,
+    /// Messages acknowledged by their receiver.
+    pub acked: u64,
+    /// Messages abandoned after the retry budget ran out.
+    pub exhausted: u64,
+}
+
+/// An unacknowledged reliable maintenance message.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingMaint {
+    /// Destination.
+    pub to: NodeEntry,
+    /// The enveloped message, kept for retransmission.
+    pub kind: MsgKind,
+    /// Retransmissions so far.
+    pub attempts: u32,
+    /// Delay before the next retransmission (doubles each retry).
+    pub backoff: past_net::SimDuration,
+}
+
 /// A PAST storage node (and client access point).
 pub struct PastNode {
     pub(crate) cfg: PastConfig,
@@ -84,6 +118,9 @@ pub struct PastNode {
     pub(crate) pointer_backup_at: HashMap<FileId, NodeEntry>,
     /// Certificates backing backup pointers held at this node (role C).
     pub(crate) backup_certs: HashMap<FileId, FileCertificate>,
+    /// Which diverting node (A) installed each backup pointer held
+    /// here, so promotion happens only when that node fails.
+    pub(crate) backup_owner: HashMap<FileId, NodeId>,
     /// Last known free space of other nodes (piggybacked on messages).
     pub(crate) free_info: HashMap<NodeId, u64>,
     /// Client storage quota.
@@ -96,6 +133,14 @@ pub struct PastNode {
     pub(crate) coords: HashMap<(NodeId, u64), InsertCoord>,
     /// Node-A state for in-flight diversions, keyed by fileId.
     pub(crate) diversions: HashMap<FileId, PendingDiversion>,
+    /// Unacked reliable maintenance messages, by maintenance seq.
+    pub(crate) maint_pending: HashMap<u64, PendingMaint>,
+    /// Next maintenance sequence number.
+    pub(crate) next_maint_seq: u64,
+    /// Reliable-maintenance counters.
+    pub(crate) maint_stats: MaintStats,
+    /// Resume point of the anti-entropy sweep (last fileId audited).
+    pub(crate) anti_entropy_cursor: Option<FileId>,
 }
 
 impl PastNode {
@@ -111,12 +156,17 @@ impl PastNode {
             pointer_certs: HashMap::new(),
             pointer_backup_at: HashMap::new(),
             backup_certs: HashMap::new(),
+            backup_owner: HashMap::new(),
             free_info: HashMap::new(),
             quota: QuotaLedger::new(quota),
             next_seq: 0,
             pending: HashMap::new(),
             coords: HashMap::new(),
             diversions: HashMap::new(),
+            maint_pending: HashMap::new(),
+            next_maint_seq: 0,
+            maint_stats: MaintStats::default(),
+            anti_entropy_cursor: None,
         }
     }
 
@@ -143,6 +193,28 @@ impl PastNode {
     /// Number of client operations still pending.
     pub fn pending_ops(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Counters for the reliable maintenance plane.
+    pub fn maint_stats(&self) -> MaintStats {
+        self.maint_stats
+    }
+
+    /// Number of maintenance messages still awaiting acknowledgement.
+    pub fn maint_in_flight(&self) -> usize {
+        self.maint_pending.len()
+    }
+
+    /// Files this node keeps an A→B pointer certificate for (should
+    /// pair 1:1 with the store's pointers; the invariant auditor checks
+    /// this).
+    pub fn pointer_cert_ids(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.pointer_certs.keys().copied()
+    }
+
+    /// Files this node keeps a backup-pointer certificate for.
+    pub fn backup_cert_ids(&self) -> impl Iterator<Item = FileId> + '_ {
+        self.backup_certs.keys().copied()
     }
 
     /// Wraps a message body with the free-space piggyback.
@@ -496,7 +568,7 @@ impl Application for PastNode {
                 holder,
                 backup,
                 cert,
-            } => self.on_install_pointer(file_id, holder, backup, cert),
+            } => self.on_install_pointer(from, file_id, holder, backup, cert),
             MsgKind::Discard { file_id } => self.on_discard(ctx, file_id),
             MsgKind::InsertReply {
                 req,
@@ -529,6 +601,30 @@ impl Application for PastNode {
             MsgKind::FetchReplica { file_id } => self.on_fetch_replica(ctx, from, file_id),
             MsgKind::ReplicaTransfer { cert } => self.on_replica_transfer(ctx, from, cert),
             MsgKind::MigrationDone { file_id } => self.on_migration_done(ctx, file_id),
+            MsgKind::MaintSeq { seq, inner } => {
+                // Ack first — receipt, not outcome, is what the sender
+                // retries on; every handler below is idempotent.
+                self.send_to(ctx, from, MsgKind::MaintAck { seq });
+                match *inner {
+                    MsgKind::InstallPointer {
+                        file_id,
+                        holder,
+                        backup,
+                        cert,
+                    } => self.on_install_pointer(from, file_id, holder, backup, cert),
+                    MsgKind::Discard { file_id } => self.on_discard(ctx, file_id),
+                    MsgKind::FetchReplica { file_id } => {
+                        self.on_fetch_replica(ctx, from, file_id)
+                    }
+                    MsgKind::ReplicaTransfer { cert } => {
+                        self.on_replica_transfer(ctx, from, cert)
+                    }
+                    other => {
+                        debug_assert!(false, "non-maintenance payload in MaintSeq: {other:?}");
+                    }
+                }
+            }
+            MsgKind::MaintAck { seq } => self.on_maint_ack(seq),
             MsgKind::Insert { .. } | MsgKind::Lookup { .. } | MsgKind::Reclaim { .. } => {
                 debug_assert!(false, "routed message arrived as a direct message");
             }
@@ -538,6 +634,9 @@ impl Application for PastNode {
     fn on_joined(&mut self, ctx: &mut PCtx<'_, '_>) {
         if self.cfg.migration_period.micros() > 0 {
             ctx.set_app_timer(self.cfg.migration_period, MIGRATION_TOKEN);
+        }
+        if self.cfg.anti_entropy_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
         }
     }
 
@@ -555,6 +654,13 @@ impl Application for PastNode {
             if self.cfg.migration_period.micros() > 0 {
                 ctx.set_app_timer(self.cfg.migration_period, MIGRATION_TOKEN);
             }
+        } else if token == ANTI_ENTROPY_TOKEN {
+            self.anti_entropy_sweep(ctx);
+            if self.cfg.anti_entropy_period.micros() > 0 {
+                ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
+            }
+        } else if token >= MAINT_RETRY_BASE {
+            self.on_maint_retry(ctx, token - MAINT_RETRY_BASE);
         } else if token >= TIMEOUT_BASE {
             self.on_timeout(ctx, token - TIMEOUT_BASE);
         }

@@ -173,9 +173,15 @@ fn insert_with_diversion(w: &mut World) -> (FileId, Vec<PastEvent>) {
     for i in 0..50 {
         let (fid, events) = w.insert(Addr(1), &format!("div{i}"), 30_000);
         if let Some(fid) = fid {
-            let diverted = events
-                .iter()
-                .any(|e| matches!(e, PastEvent::ReplicaStored { diverted: true, .. }));
+            // Check the world state, not the event stream: a
+            // `diverted: true` store event may belong to an earlier,
+            // aborted attempt whose replica was discarded again.
+            let diverted = w.entries.iter().any(|e| {
+                w.sim
+                    .node(e.addr)
+                    .map(|n| n.app().store().diverted_here().any(|(id, _)| *id == fid))
+                    .unwrap_or(false)
+            });
             if diverted {
                 return (fid, events);
             }

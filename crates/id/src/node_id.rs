@@ -293,7 +293,6 @@ mod tests {
             let (a, b) = (NodeId::from_u128(a), NodeId::from_u128(b));
             let cw = a.cw_distance(b);
             let ccw = a.ccw_distance(b);
-            prop_assert_eq!(cw.wrapping_add(ccw), 0u128.wrapping_sub(u128::from(a != b) * 0));
             if a != b {
                 prop_assert_eq!(cw.wrapping_add(ccw), 0u128);
             } else {

@@ -1,0 +1,303 @@
+//! Deterministic fault injection for the simulator.
+//!
+//! The paper's availability argument (§2.3, §3.5) rests on PAST healing
+//! itself through node failures: "the system must adapt to maintain the
+//! invariant that k copies of each file exist". A [`FaultPlan`] is a
+//! seeded, fully deterministic schedule of the faults such an argument
+//! has to survive:
+//!
+//! - node **crash/recover** events, either placed explicitly or drawn
+//!   from a Poisson churn process ([`FaultPlan::poisson_churn`]);
+//! - **per-link message loss** probabilities;
+//! - **two-sided network partitions** — during an active partition no
+//!   message crosses the cut, in either direction;
+//! - **latency jitter**, a uniform per-message addition to the
+//!   topology's base latency.
+//!
+//! Install a plan with [`crate::Simulator::set_fault_plan`]. Crash and
+//! recover entries are interleaved with the event queue in timestamp
+//! order; loss, partitions and jitter act on individual messages. Every
+//! injected fault is counted in [`crate::NetStats`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::addr::Addr;
+use crate::time::{SimDuration, SimTime};
+
+/// A scheduled node-level fault.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeFault {
+    /// The node goes down (state retained, messages/timers dropped).
+    Crash(Addr),
+    /// The node comes back up (its `on_recover` handler runs).
+    Recover(Addr),
+}
+
+/// A two-sided network partition: while active, messages between
+/// `group` and its complement are dropped in both directions.
+#[derive(Clone, Debug)]
+pub struct Partition {
+    /// Partition start (inclusive).
+    pub from: SimTime,
+    /// Partition end (exclusive).
+    pub to: SimTime,
+    /// One side of the cut; every other address is on the other side.
+    pub group: Vec<Addr>,
+}
+
+impl Partition {
+    /// Whether a message from `src` to `dst` at time `t` crosses an
+    /// active cut.
+    pub fn severs(&self, t: SimTime, src: Addr, dst: Addr) -> bool {
+        if t < self.from || t >= self.to {
+            return false;
+        }
+        self.group.contains(&src) != self.group.contains(&dst)
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct LinkLoss {
+    a: Addr,
+    b: Addr,
+    p: f64,
+}
+
+/// A deterministic schedule of injected faults.
+///
+/// Built with chained constructors; all randomness used while *building*
+/// a plan (Poisson churn) comes from an explicit seed, and all
+/// randomness used while *applying* it (loss, jitter) comes from the
+/// simulator's own seeded RNG, so a (plan, simulator-seed) pair replays
+/// identically.
+///
+/// # Examples
+///
+/// ```
+/// use past_net::{Addr, FaultPlan, SimDuration, SimTime};
+///
+/// let plan = FaultPlan::new()
+///     .crash_at(SimTime(5_000_000), Addr(3))
+///     .recover_at(SimTime(9_000_000), Addr(3))
+///     .partition(SimTime(2_000_000), SimTime(4_000_000), vec![Addr(0), Addr(1)])
+///     .link_loss(Addr(0), Addr(2), 0.5)
+///     .jitter(SimDuration::from_millis(20));
+/// assert_eq!(plan.schedule().len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    schedule: Vec<(SimTime, NodeFault)>,
+    partitions: Vec<Partition>,
+    link_loss: Vec<LinkLoss>,
+    jitter: SimDuration,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Schedules a crash of `addr` at `t`. A crash with no later
+    /// recovery is a permanent kill.
+    pub fn crash_at(mut self, t: SimTime, addr: Addr) -> Self {
+        self.schedule.push((t, NodeFault::Crash(addr)));
+        self
+    }
+
+    /// Schedules a recovery of `addr` at `t`.
+    pub fn recover_at(mut self, t: SimTime, addr: Addr) -> Self {
+        self.schedule.push((t, NodeFault::Recover(addr)));
+        self
+    }
+
+    /// Adds a two-sided partition of `group` against the rest of the
+    /// network over `[from, to)`.
+    pub fn partition(mut self, from: SimTime, to: SimTime, group: Vec<Addr>) -> Self {
+        self.partitions.push(Partition { from, to, group });
+        self
+    }
+
+    /// Sets an i.i.d. loss probability on the (symmetric) link between
+    /// `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    pub fn link_loss(mut self, a: Addr, b: Addr, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.link_loss.push(LinkLoss { a, b, p });
+        self
+    }
+
+    /// Adds uniform per-message latency jitter in `[0, max]`.
+    pub fn jitter(mut self, max: SimDuration) -> Self {
+        self.jitter = max;
+        self
+    }
+
+    /// Overlays a Poisson churn process: each node in `nodes`
+    /// alternates exponentially distributed up-times (mean `mtbf`) and
+    /// down-times (mean `mean_downtime`); crashes are generated from
+    /// `start` until `horizon`, and every crash is paired with a
+    /// recovery (which may land past the horizon). Deterministic in
+    /// `seed`.
+    pub fn poisson_churn(
+        mut self,
+        seed: u64,
+        nodes: &[Addr],
+        mtbf: SimDuration,
+        mean_downtime: SimDuration,
+        start: SimTime,
+        horizon: SimTime,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        for &addr in nodes {
+            let mut t = start + exp_sample(&mut rng, mtbf);
+            while t < horizon {
+                self.schedule.push((t, NodeFault::Crash(addr)));
+                let down = exp_sample(&mut rng, mean_downtime);
+                let up_at = t + down;
+                self.schedule.push((up_at, NodeFault::Recover(addr)));
+                t = up_at + exp_sample(&mut rng, mtbf);
+            }
+        }
+        self
+    }
+
+    /// The crash/recover schedule in timestamp order (ties keep
+    /// insertion order, so a crash scheduled before a recovery at the
+    /// same instant applies first).
+    pub fn schedule(&self) -> Vec<(SimTime, NodeFault)> {
+        let mut s = self.schedule.clone();
+        s.sort_by_key(|(t, _)| *t);
+        s
+    }
+
+    /// The configured partitions.
+    pub fn partitions(&self) -> &[Partition] {
+        &self.partitions
+    }
+
+    /// Maximum per-message jitter.
+    pub fn jitter_max(&self) -> SimDuration {
+        self.jitter
+    }
+
+    /// Whether an active partition severs `src`→`dst` at `t`.
+    pub(crate) fn severed(&self, t: SimTime, src: Addr, dst: Addr) -> bool {
+        self.partitions.iter().any(|p| p.severs(t, src, dst))
+    }
+
+    /// Loss probability injected on the `src`→`dst` link (0 when no
+    /// rule matches; the largest matching rule wins).
+    pub(crate) fn loss_on(&self, src: Addr, dst: Addr) -> f64 {
+        self.link_loss
+            .iter()
+            .filter(|l| (l.a == src && l.b == dst) || (l.a == dst && l.b == src))
+            .map(|l| l.p)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Exponentially distributed sample with the given mean.
+fn exp_sample(rng: &mut StdRng, mean: SimDuration) -> SimDuration {
+    let u: f64 = rng.gen();
+    // 1 - u is in (0, 1], so the log is finite.
+    let x = -(1.0 - u).ln() * mean.micros() as f64;
+    SimDuration::from_micros(x as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_sorted_by_time() {
+        let plan = FaultPlan::new()
+            .recover_at(SimTime(30), Addr(1))
+            .crash_at(SimTime(10), Addr(1))
+            .crash_at(SimTime(20), Addr(2));
+        let s = plan.schedule();
+        assert_eq!(
+            s,
+            vec![
+                (SimTime(10), NodeFault::Crash(Addr(1))),
+                (SimTime(20), NodeFault::Crash(Addr(2))),
+                (SimTime(30), NodeFault::Recover(Addr(1))),
+            ]
+        );
+    }
+
+    #[test]
+    fn partition_severs_only_across_cut_during_window() {
+        let p = Partition {
+            from: SimTime(100),
+            to: SimTime(200),
+            group: vec![Addr(0), Addr(1)],
+        };
+        // Across the cut, inside the window, both directions.
+        assert!(p.severs(SimTime(100), Addr(0), Addr(2)));
+        assert!(p.severs(SimTime(150), Addr(2), Addr(1)));
+        // Same side.
+        assert!(!p.severs(SimTime(150), Addr(0), Addr(1)));
+        assert!(!p.severs(SimTime(150), Addr(2), Addr(3)));
+        // Outside the window (end exclusive).
+        assert!(!p.severs(SimTime(99), Addr(0), Addr(2)));
+        assert!(!p.severs(SimTime(200), Addr(0), Addr(2)));
+    }
+
+    #[test]
+    fn link_loss_symmetric_and_max_wins() {
+        let plan = FaultPlan::new()
+            .link_loss(Addr(0), Addr(1), 0.2)
+            .link_loss(Addr(1), Addr(0), 0.7);
+        assert_eq!(plan.loss_on(Addr(0), Addr(1)), 0.7);
+        assert_eq!(plan.loss_on(Addr(1), Addr(0)), 0.7);
+        assert_eq!(plan.loss_on(Addr(0), Addr(2)), 0.0);
+    }
+
+    #[test]
+    fn poisson_churn_deterministic_and_paired() {
+        let nodes: Vec<Addr> = (0..8).map(Addr).collect();
+        let mk = || {
+            FaultPlan::new().poisson_churn(
+                7,
+                &nodes,
+                SimDuration::from_secs(100),
+                SimDuration::from_secs(10),
+                SimTime::ZERO,
+                SimTime(600_000_000),
+            )
+        };
+        let a = mk().schedule();
+        let b = mk().schedule();
+        assert_eq!(a, b, "same seed must give the same schedule");
+        assert!(!a.is_empty(), "600 s at 100 s MTBF should produce churn");
+        let crashes = a
+            .iter()
+            .filter(|(_, f)| matches!(f, NodeFault::Crash(_)))
+            .count();
+        let recoveries = a.len() - crashes;
+        assert_eq!(crashes, recoveries, "every crash pairs with a recovery");
+    }
+
+    #[test]
+    fn poisson_churn_seed_changes_schedule() {
+        let nodes: Vec<Addr> = (0..8).map(Addr).collect();
+        let mk = |seed| {
+            FaultPlan::new()
+                .poisson_churn(
+                    seed,
+                    &nodes,
+                    SimDuration::from_secs(50),
+                    SimDuration::from_secs(5),
+                    SimTime::ZERO,
+                    SimTime(600_000_000),
+                )
+                .schedule()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+}

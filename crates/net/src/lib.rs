@@ -12,14 +12,19 @@
 //!   that Pastry's locality heuristics depend on, and per-message latency:
 //!   [`EuclideanTopology`], [`ClusteredTopology`] (the eight-site NLANR
 //!   layout of §5.2) and [`UniformTopology`].
+//! - [`FaultPlan`]: deterministic, seeded fault injection — crash and
+//!   recovery schedules (including Poisson churn), per-link message
+//!   loss, latency jitter, and two-sided network partitions.
 //! - [`SimTime`]/[`SimDuration`] and [`Addr`] vocabulary types.
 
 mod addr;
+mod fault;
 mod sim;
 mod time;
 mod topology;
 
 pub use addr::Addr;
+pub use fault::{FaultPlan, NodeFault, Partition};
 pub use sim::{Ctx, NetStats, Protocol, Simulator};
 pub use time::{SimDuration, SimTime};
 pub use topology::{ClusteredTopology, EuclideanTopology, Topology, UniformTopology};

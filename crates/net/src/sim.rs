@@ -14,6 +14,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::addr::Addr;
+use crate::fault::{FaultPlan, NodeFault};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
 
@@ -146,17 +147,29 @@ struct NodeSlot<P> {
     up: bool,
 }
 
-/// Counters describing network-level activity.
+/// Counters describing network-level activity, including every fault
+/// injected by an installed [`FaultPlan`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NetStats {
     /// Messages delivered to a live node.
     pub delivered: u64,
-    /// Messages dropped (dead/absent destination or injected loss).
+    /// Messages dropped for any reason (dead/absent destination,
+    /// injected loss, or an active partition).
     pub dropped: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Events processed in total.
     pub events: u64,
+    /// Scheduled node crashes applied.
+    pub crashes: u64,
+    /// Scheduled node recoveries applied.
+    pub recoveries: u64,
+    /// Messages dropped by injected loss (global or per-link).
+    pub lost: u64,
+    /// Messages dropped by an active partition.
+    pub partition_dropped: u64,
+    /// Messages whose latency received injected jitter.
+    pub jittered: u64,
 }
 
 /// The discrete-event network simulator.
@@ -195,6 +208,9 @@ pub struct Simulator<P: Protocol> {
     seq: u64,
     rng: StdRng,
     loss_probability: f64,
+    fault_plan: FaultPlan,
+    fault_schedule: Vec<(SimTime, NodeFault)>,
+    fault_cursor: usize,
     stats: NetStats,
     upcalls: Vec<(SimTime, Addr, P::Upcall)>,
     scratch: Vec<Output<P::Msg, P::Upcall>>,
@@ -211,6 +227,9 @@ impl<P: Protocol> Simulator<P> {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             loss_probability: 0.0,
+            fault_plan: FaultPlan::default(),
+            fault_schedule: Vec::new(),
+            fault_cursor: 0,
             stats: NetStats::default(),
             upcalls: Vec::new(),
             scratch: Vec::new(),
@@ -225,6 +244,17 @@ impl<P: Protocol> Simulator<P> {
     pub fn set_loss_probability(&mut self, p: f64) {
         assert!((0.0..=1.0).contains(&p), "loss probability out of range");
         self.loss_probability = p;
+    }
+
+    /// Installs a fault plan. Crash/recover entries are interleaved
+    /// with the event queue by timestamp; partitions, per-link loss and
+    /// jitter act on individual messages. Entries scheduled before the
+    /// current time apply immediately on the next step (time never
+    /// rewinds). Replaces any previously installed plan.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_schedule = plan.schedule();
+        self.fault_plan = plan;
+        self.fault_cursor = 0;
     }
 
     /// Current simulated time.
@@ -347,8 +377,98 @@ impl<P: Protocol> Simulator<P> {
         std::mem::take(&mut self.upcalls)
     }
 
-    /// Processes a single event. Returns `false` when the queue is empty.
+    /// Processes a single event or scheduled fault. Returns `false`
+    /// when both the event queue and the fault schedule are exhausted.
     pub fn step(&mut self) -> bool {
+        // Apply scheduled faults due at or before the next event; a
+        // fault at the same instant as a delivery applies first, so a
+        // message to a node crashing "now" is dropped.
+        while let Some(fault_at) = self.next_fault_at() {
+            match self.queue.peek() {
+                Some(e) if e.at < fault_at => break,
+                Some(_) => self.apply_next_fault(),
+                None => {
+                    self.apply_next_fault();
+                    return true;
+                }
+            }
+        }
+        self.step_event()
+    }
+
+    /// Runs until the event queue and fault schedule are exhausted.
+    pub fn run_until_idle(&mut self) {
+        while self.step() {}
+    }
+
+    /// Runs until the queue is empty or `deadline` is reached; events
+    /// and faults at exactly `deadline` are processed.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        loop {
+            let next_event = self.queue.peek().map(|e| e.at);
+            let next_fault = self.next_fault_at();
+            let fault_first = match (next_fault, next_event) {
+                (Some(f), Some(e)) => f <= e,
+                (Some(_), None) => true,
+                (None, _) => false,
+            };
+            if fault_first {
+                if next_fault.expect("fault_first") > deadline {
+                    break;
+                }
+                self.apply_next_fault();
+            } else {
+                match next_event {
+                    Some(e) if e <= deadline => {
+                        self.step_event();
+                    }
+                    _ => break,
+                }
+            }
+        }
+        if self.time < deadline {
+            self.time = deadline;
+        }
+    }
+
+    fn next_fault_at(&self) -> Option<SimTime> {
+        self.fault_schedule
+            .get(self.fault_cursor)
+            .map(|(t, _)| *t)
+    }
+
+    /// Applies the next scheduled fault, advancing simulated time to
+    /// its timestamp. Faults against absent nodes, crashes of already
+    /// down nodes and recoveries of up (or removed) nodes are no-ops.
+    fn apply_next_fault(&mut self) {
+        let (t, fault) = self.fault_schedule[self.fault_cursor];
+        self.fault_cursor += 1;
+        if t > self.time {
+            self.time = t;
+        }
+        match fault {
+            NodeFault::Crash(addr) => {
+                if self.is_up(addr) {
+                    self.fail_node(addr);
+                    self.stats.crashes += 1;
+                }
+            }
+            NodeFault::Recover(addr) => {
+                let down = self
+                    .nodes
+                    .get(addr.index())
+                    .map(|s| s.proto.is_some() && !s.up)
+                    .unwrap_or(false);
+                if down {
+                    self.recover_node(addr);
+                    self.stats.recoveries += 1;
+                }
+            }
+        }
+    }
+
+    /// Pops and processes one queued event (no fault handling).
+    fn step_event(&mut self) -> bool {
         let event = match self.queue.pop() {
             Some(e) => e,
             None => return false,
@@ -358,13 +478,21 @@ impl<P: Protocol> Simulator<P> {
         self.stats.events += 1;
         match event.kind {
             EventKind::Deliver { src, dst, msg } => {
-                let lose =
-                    self.loss_probability > 0.0 && self.rng.gen::<f64>() < self.loss_probability;
-                if !self.is_up(dst) || lose {
+                if self.fault_plan.severed(self.time, src, dst) {
                     self.stats.dropped += 1;
+                    self.stats.partition_dropped += 1;
                 } else {
-                    self.stats.delivered += 1;
-                    self.dispatch(dst, |p, ctx| p.on_message(ctx, src, msg));
+                    let p = self.loss_probability.max(self.fault_plan.loss_on(src, dst));
+                    let lose = p > 0.0 && self.rng.gen::<f64>() < p;
+                    if lose {
+                        self.stats.dropped += 1;
+                        self.stats.lost += 1;
+                    } else if !self.is_up(dst) {
+                        self.stats.dropped += 1;
+                    } else {
+                        self.stats.delivered += 1;
+                        self.dispatch(dst, |p, ctx| p.on_message(ctx, src, msg));
+                    }
                 }
             }
             EventKind::Timer { node, token } => {
@@ -375,25 +503,6 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         true
-    }
-
-    /// Runs until the event queue is empty.
-    pub fn run_until_idle(&mut self) {
-        while self.step() {}
-    }
-
-    /// Runs until the queue is empty or `deadline` is reached; events at
-    /// exactly `deadline` are processed.
-    pub fn run_until(&mut self, deadline: SimTime) {
-        while let Some(event) = self.queue.peek() {
-            if event.at > deadline {
-                break;
-            }
-            self.step();
-        }
-        if self.time < deadline {
-            self.time = deadline;
-        }
     }
 
     /// Runs for `span` of simulated time from now.
@@ -434,7 +543,13 @@ impl<P: Protocol> Simulator<P> {
         for output in out.drain(..) {
             match output {
                 Output::Send { dst, msg } => {
-                    let latency = self.topology.latency(addr, dst);
+                    let mut latency = self.topology.latency(addr, dst);
+                    let jitter_max = self.fault_plan.jitter_max().micros();
+                    if jitter_max > 0 {
+                        let j = self.rng.gen_range(0..jitter_max + 1);
+                        latency = latency + SimDuration::from_micros(j);
+                        self.stats.jittered += 1;
+                    }
                     self.seq += 1;
                     self.queue.push(Event {
                         at: self.time + latency,
@@ -641,5 +756,126 @@ mod tests {
         sim.fail_node(Addr(0));
         let live: Vec<Addr> = sim.live_addrs().collect();
         assert_eq!(live, vec![Addr(1)]);
+    }
+
+    #[test]
+    fn fault_plan_crash_and_recover_applied_in_order() {
+        use crate::fault::FaultPlan;
+        let mut sim = sim2();
+        sim.set_fault_plan(
+            FaultPlan::new()
+                .crash_at(SimTime(10_000), Addr(1))
+                .recover_at(SimTime(40_000), Addr(1)),
+        );
+        // Sent at t=0, arrives t=5ms: delivered before the crash.
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        // A timer at t=20ms sends another ping, arriving at t=25ms
+        // while Addr(1) is down: dropped.
+        sim.invoke(Addr(0), |_p, ctx| ctx.set_timer(SimDuration::from_millis(20), 7));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+        let stats = sim.stats();
+        assert_eq!(stats.crashes, 1);
+        assert_eq!(stats.recoveries, 1);
+        assert!(sim.is_up(Addr(1)), "recovery applied even after queue drained");
+    }
+
+    #[test]
+    fn fault_plan_partition_drops_both_directions() {
+        use crate::fault::FaultPlan;
+        let topo = UniformTopology::new(4, SimDuration::from_millis(5));
+        let mut sim: Simulator<PingPong> = Simulator::new(Box::new(topo), 3);
+        for i in 0..4 {
+            sim.add_node(Addr(i), PingPong::new());
+        }
+        sim.set_fault_plan(FaultPlan::new().partition(
+            SimTime::ZERO,
+            SimTime(1_000_000),
+            vec![Addr(0), Addr(1)],
+        ));
+        // Across the cut, both directions: dropped.
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(2), Msg::Ping));
+        sim.invoke(Addr(2), |_p, ctx| ctx.send(Addr(0), Msg::Ping));
+        // Same side: delivered.
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.stats().partition_dropped, 2);
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+        assert_eq!(sim.node(Addr(0)).unwrap().pings_seen, 0);
+        assert_eq!(sim.node(Addr(2)).unwrap().pings_seen, 0);
+        // After the window, the same send goes through.
+        sim.run_until(SimTime(2_000_000));
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(2), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(2)).unwrap().pings_seen, 1);
+    }
+
+    #[test]
+    fn fault_plan_link_loss_is_per_link() {
+        use crate::fault::FaultPlan;
+        let topo = UniformTopology::new(3, SimDuration::from_millis(1));
+        let mut sim: Simulator<PingPong> = Simulator::new(Box::new(topo), 5);
+        for i in 0..3 {
+            sim.add_node(Addr(i), PingPong::new());
+        }
+        sim.set_fault_plan(FaultPlan::new().link_loss(Addr(0), Addr(1), 1.0));
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(2), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 0, "lossy link");
+        assert_eq!(sim.node(Addr(2)).unwrap().pings_seen, 1, "clean link");
+        assert_eq!(sim.stats().lost, 1);
+    }
+
+    #[test]
+    fn fault_plan_jitter_delays_but_preserves_delivery() {
+        use crate::fault::FaultPlan;
+        let mut sim = sim2();
+        sim.set_fault_plan(FaultPlan::new().jitter(SimDuration::from_millis(50)));
+        sim.invoke(Addr(0), |_p, ctx| ctx.send(Addr(1), Msg::Ping));
+        sim.run_until_idle();
+        assert_eq!(sim.node(Addr(1)).unwrap().pings_seen, 1);
+        assert!(sim.stats().jittered >= 1);
+        // Base latency 5ms; jittered delivery lands in [5ms, 55ms].
+        assert!(sim.now() >= SimTime(5_000));
+        assert!(sim.now() <= SimTime(110_000));
+    }
+
+    #[test]
+    fn fault_plan_runs_deterministically() {
+        use crate::fault::FaultPlan;
+        let run = |seed| {
+            let topo = UniformTopology::new(8, SimDuration::from_millis(5));
+            let mut sim: Simulator<PingPong> = Simulator::new(Box::new(topo), seed);
+            let addrs: Vec<Addr> = (0..8).map(Addr).collect();
+            for &a in &addrs {
+                sim.add_node(a, PingPong::new());
+            }
+            sim.set_fault_plan(
+                FaultPlan::new()
+                    .poisson_churn(
+                        seed,
+                        &addrs,
+                        SimDuration::from_secs(30),
+                        SimDuration::from_secs(5),
+                        SimTime::ZERO,
+                        SimTime(120_000_000),
+                    )
+                    .jitter(SimDuration::from_millis(10))
+                    .link_loss(Addr(0), Addr(1), 0.3),
+            );
+            for i in 0..64u32 {
+                let from = Addr(i % 8);
+                let to = Addr((i + 1) % 8);
+                if sim.is_up(from) {
+                    sim.invoke(from, move |_p, ctx| ctx.send(to, Msg::Ping));
+                }
+                sim.run_for(SimDuration::from_secs(2));
+            }
+            sim.run_until_idle();
+            let s = sim.stats();
+            (s.delivered, s.dropped, s.crashes, s.recoveries, s.lost)
+        };
+        assert_eq!(run(11), run(11));
     }
 }

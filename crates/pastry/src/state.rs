@@ -371,7 +371,7 @@ mod tests {
         assert_eq!(st.on_node_seen(e, 1.0), LeafChange::Added);
         assert_eq!(st.on_node_seen(e, 1.0), LeafChange::None);
         assert!(st.leaf_set().contains(e.id));
-        assert!(st.routing_table().len() > 0);
+        assert!(!st.routing_table().is_empty());
         assert_eq!(st.on_node_failed(e.id), LeafChange::Removed);
         assert_eq!(st.on_node_failed(e.id), LeafChange::None);
         assert!(!st.leaf_set().contains(e.id));

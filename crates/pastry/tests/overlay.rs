@@ -210,6 +210,10 @@ fn routing_survives_node_failures() {
         neighborhood_size: 8,
         keep_alive_period: SimDuration::from_secs(5),
         failure_timeout: SimDuration::from_secs(15),
+        // Delivery despite *silent* failures needs per-hop lazy repair:
+        // keep-alives only cover the leaf set, so a stale routing-table
+        // entry pointing at a dead node would otherwise eat the message.
+        per_hop_acks: true,
         ..Default::default()
     };
     let (mut sim, entries) = build_overlay(40, 17, &cfg);

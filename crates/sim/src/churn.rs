@@ -1,0 +1,479 @@
+//! Churn experiment driver and global invariant auditor.
+//!
+//! [`ChurnRunner`] builds a PAST overlay with failure detection armed
+//! (keep-alives + per-hop acks), inserts a working set from a protected
+//! client node, subjects the overlay to a [`FaultPlan`] (crash/recover
+//! schedules, partitions, message loss), and — after the network has
+//! quiesced — walks every live node to check the paper's global
+//! invariants (§3.5):
+//!
+//! - **replication**: every inserted, unreclaimed file is backed by
+//!   `min(k, live nodes)` reachable copies, where a copy is either a
+//!   primary replica or a valid A→B pointer to a live diverted holder;
+//! - **pointer integrity**: no dangling pointers (targets dead or no
+//!   longer holding the bytes) and no orphan certificates (a pointer
+//!   and its certificate must pair 1:1, for backups too);
+//! - **quota conservation**: the client's ledger charges exactly
+//!   `k × size` for each successful, unreclaimed insert.
+//!
+//! The result is a structured [`InvariantReport`], so tests and the
+//! `churn_availability` benchmark can assert on individual violations
+//! instead of a boolean.
+
+use std::collections::HashMap;
+
+use past_core::{MaintStats, PastConfig, PastEvent, PastNode, PastOverlayNode};
+use past_crypto::{KeyPair, Scheme};
+use past_id::FileId;
+use past_net::{Addr, EuclideanTopology, FaultPlan, NetStats, SimDuration, Simulator};
+use past_pastry::{NodeEntry, PastryConfig, PastryNode};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of a churn experiment.
+#[derive(Clone, Debug)]
+pub struct ChurnConfig {
+    /// Overlay size.
+    pub nodes: usize,
+    /// Master seed (topology, keys, bootstrap choices, workload).
+    pub seed: u64,
+    /// Per-node PAST configuration (k, acceptance policies, the
+    /// reliable-maintenance knobs under test).
+    pub past: PastConfig,
+    /// Pastry configuration; must arm keep-alives so failures are
+    /// detected and repaired.
+    pub pastry: PastryConfig,
+    /// Per-node disk capacity.
+    pub capacity: u64,
+    /// Number of files the client inserts before churn starts.
+    pub files: usize,
+    /// Size of each inserted file.
+    pub file_size: u64,
+}
+
+impl Default for ChurnConfig {
+    fn default() -> Self {
+        ChurnConfig {
+            nodes: 30,
+            seed: 1,
+            past: PastConfig {
+                cache_policy: past_store::CachePolicyKind::None,
+                ..Default::default()
+            },
+            pastry: PastryConfig {
+                leaf_set_size: 16,
+                neighborhood_size: 16,
+                keep_alive_period: SimDuration::from_secs(5),
+                failure_timeout: SimDuration::from_secs(15),
+                per_hop_acks: true,
+                ..Default::default()
+            },
+            capacity: 40_000_000,
+            files: 8,
+            file_size: 20_000,
+        }
+    }
+}
+
+/// One replication-invariant violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UnderReplicated {
+    /// The file concerned.
+    pub file_id: FileId,
+    /// Reachable copies found (primaries + valid pointers).
+    pub found: usize,
+    /// Copies the invariant requires (`min(k, live nodes)`).
+    pub required: usize,
+}
+
+/// Outcome of one global invariant audit (see the module docs for the
+/// invariants themselves).
+#[derive(Clone, Debug, Default)]
+pub struct InvariantReport {
+    /// Files audited (successful, unreclaimed inserts).
+    pub files: usize,
+    /// Live nodes walked.
+    pub live_nodes: usize,
+    /// Files with fewer than `min(k, live)` reachable copies.
+    pub under_replicated: Vec<UnderReplicated>,
+    /// Pointers whose target is dead or no longer holds the bytes.
+    pub dangling_pointers: usize,
+    /// Pointers (regular or backup) without a matching certificate.
+    pub pointers_missing_cert: usize,
+    /// Certificates (regular or backup) without a matching pointer.
+    pub orphan_certs: usize,
+    /// Bytes the client's quota ledger should be charged.
+    pub quota_expected: u64,
+    /// Bytes the ledger actually charges.
+    pub quota_used: u64,
+}
+
+impl InvariantReport {
+    /// Whether every audited invariant holds.
+    pub fn is_clean(&self) -> bool {
+        self.under_replicated.is_empty()
+            && self.dangling_pointers == 0
+            && self.pointers_missing_cert == 0
+            && self.orphan_certs == 0
+            && self.quota_expected == self.quota_used
+    }
+
+    /// Human-readable one-line summary (for assertions and logs).
+    pub fn summary(&self) -> String {
+        format!(
+            "files={} live={} under_replicated={} dangling={} missing_cert={} orphan_cert={} quota={}/{}",
+            self.files,
+            self.live_nodes,
+            self.under_replicated.len(),
+            self.dangling_pointers,
+            self.pointers_missing_cert,
+            self.orphan_certs,
+            self.quota_used,
+            self.quota_expected,
+        )
+    }
+}
+
+/// Drives one churn experiment: build → insert → churn → heal → audit.
+pub struct ChurnRunner {
+    cfg: ChurnConfig,
+    sim: Simulator<PastOverlayNode>,
+    entries: Vec<NodeEntry>,
+    /// Successful, unreclaimed inserts (the audited working set).
+    files: Vec<(FileId, u64)>,
+    inserts_attempted: usize,
+    lookups_attempted: usize,
+    lookups_ok: usize,
+    workload_rng: StdRng,
+}
+
+/// The client access point; excluded from churn plans built by
+/// [`ChurnRunner::poisson_plan`] so quota accounting stays auditable.
+pub const CLIENT: Addr = Addr(0);
+
+impl ChurnRunner {
+    /// Builds the overlay (no churn yet).
+    pub fn build(cfg: ChurnConfig) -> Self {
+        let mut seeder = StdRng::seed_from_u64(cfg.seed);
+        let topo = EuclideanTopology::random(cfg.nodes, &mut seeder);
+        let mut sim: Simulator<PastOverlayNode> =
+            Simulator::new(Box::new(topo), cfg.seed ^ 0xc4a2);
+        let mut entries = Vec::with_capacity(cfg.nodes);
+        for i in 0..cfg.nodes {
+            let keys = KeyPair::generate(Scheme::Keyed, &mut seeder);
+            let id = past_crypto::derive_node_id(&keys.public());
+            let addr = Addr(i as u32);
+            let entry = NodeEntry::new(id, addr);
+            let app = PastNode::new(cfg.past.clone(), keys, cfg.capacity, u64::MAX / 2);
+            let bootstrap = if i == 0 {
+                None
+            } else {
+                Some(Addr(seeder.gen_range(0..i) as u32))
+            };
+            sim.add_node(addr, PastryNode::new(cfg.pastry.clone(), entry, app, bootstrap));
+            // Keep-alives are armed, so the queue never drains: settle
+            // each join with a bounded window instead.
+            sim.run_for(SimDuration::from_secs(1));
+            entries.push(entry);
+        }
+        sim.run_for(SimDuration::from_secs(10));
+        sim.drain_upcalls();
+        let workload_rng = StdRng::seed_from_u64(cfg.seed ^ 0x90ad);
+        ChurnRunner {
+            cfg,
+            sim,
+            entries,
+            files: Vec::new(),
+            inserts_attempted: 0,
+            lookups_attempted: 0,
+            lookups_ok: 0,
+            workload_rng,
+        }
+    }
+
+    /// The simulator (for custom fault plans and inspection).
+    pub fn sim(&self) -> &Simulator<PastOverlayNode> {
+        &self.sim
+    }
+
+    /// Mutable simulator access (for scenario surgery in tests: direct
+    /// kills, recoveries, extra invocations).
+    pub fn sim_mut(&mut self) -> &mut Simulator<PastOverlayNode> {
+        &mut self.sim
+    }
+
+    /// The overlay's node identities.
+    pub fn entries(&self) -> &[NodeEntry] {
+        &self.entries
+    }
+
+    /// Live nodes currently holding a replica (primary or diverted) of
+    /// `fid`.
+    pub fn holders_of(&self, fid: FileId) -> Vec<Addr> {
+        self.entries
+            .iter()
+            .filter(|e| self.sim.is_up(e.addr))
+            .filter(|e| {
+                self.sim
+                    .node(e.addr)
+                    .map(|n| n.app().store().holds_replica(fid))
+                    .unwrap_or(false)
+            })
+            .map(|e| e.addr)
+            .collect()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> past_net::SimTime {
+        self.sim.now()
+    }
+
+    /// The audited working set: (fileId, size) of successful inserts.
+    pub fn files(&self) -> &[(FileId, u64)] {
+        &self.files
+    }
+
+    /// Inserts the configured working set from the client node and
+    /// records the successful fileIds. Returns how many succeeded.
+    pub fn insert_files(&mut self) -> usize {
+        for i in 0..self.cfg.files {
+            let name = format!("churn{i}");
+            let size = self.cfg.file_size;
+            self.inserts_attempted += 1;
+            self.sim.invoke(CLIENT, move |node, ctx| {
+                node.invoke_app(ctx, |app, actx| {
+                    app.insert(actx, &name, size);
+                });
+            });
+            self.sim.run_for(SimDuration::from_secs(2));
+            for (_, _, ev) in self.sim.drain_upcalls() {
+                if let PastEvent::InsertDone {
+                    file_id,
+                    size,
+                    success: true,
+                    ..
+                } = ev
+                {
+                    self.files.push((file_id, size));
+                }
+            }
+        }
+        self.files.len()
+    }
+
+    /// Builds a Poisson churn plan over every node except the client,
+    /// covering the next `span` of simulated time.
+    pub fn poisson_plan(
+        &self,
+        mtbf: SimDuration,
+        mean_downtime: SimDuration,
+        span: SimDuration,
+    ) -> FaultPlan {
+        let victims: Vec<Addr> = (1..self.cfg.nodes).map(|i| Addr(i as u32)).collect();
+        let start = self.sim.now();
+        FaultPlan::new().poisson_churn(
+            self.cfg.seed ^ 0xfa11,
+            &victims,
+            mtbf,
+            mean_downtime,
+            start,
+            start + span,
+        )
+    }
+
+    /// Installs a fault plan and runs the overlay for `span`.
+    pub fn run_with_faults(&mut self, plan: FaultPlan, span: SimDuration) {
+        self.sim.set_fault_plan(plan);
+        self.sim.run_for(span);
+    }
+
+    /// Issues `count` lookups of the working set from random *live*
+    /// nodes, advancing the clock by `gap` after each. Returns how many
+    /// of them found the file.
+    pub fn lookup_round(&mut self, count: usize, gap: SimDuration) -> usize {
+        if self.files.is_empty() {
+            return 0;
+        }
+        let mut ok = 0;
+        for i in 0..count {
+            let (fid, _) = self.files[i % self.files.len()];
+            let live: Vec<Addr> = self.sim.live_addrs().collect();
+            if live.is_empty() {
+                break;
+            }
+            let from = live[self.workload_rng.gen_range(0..live.len())];
+            self.sim.invoke(from, move |node, ctx| {
+                node.invoke_app(ctx, |app, actx| {
+                    app.lookup(actx, fid);
+                });
+            });
+            self.sim.run_for(gap);
+            self.lookups_attempted += 1;
+            for (_, _, ev) in self.sim.drain_upcalls() {
+                if let PastEvent::LookupDone { found: true, .. } = ev {
+                    ok += 1;
+                    self.lookups_ok += 1;
+                }
+            }
+        }
+        ok
+    }
+
+    /// Recovers every crashed node, clears the fault plan, and lets the
+    /// network settle for `settle`.
+    pub fn heal(&mut self, settle: SimDuration) {
+        self.sim.set_fault_plan(FaultPlan::new());
+        for i in 0..self.cfg.nodes {
+            let addr = Addr(i as u32);
+            if self.sim.node(addr).is_some() && !self.sim.is_up(addr) {
+                self.sim.recover_node(addr);
+            }
+        }
+        self.sim.run_for(settle);
+        self.sim.drain_upcalls();
+    }
+
+    /// Runs in `step` increments until the replication invariant holds
+    /// for every file or `max` elapses. Returns the time it took, or
+    /// `None` on timeout. This is the benchmark's time-to-rereplication.
+    pub fn time_to_full_replication(
+        &mut self,
+        step: SimDuration,
+        max: SimDuration,
+    ) -> Option<SimDuration> {
+        let start = self.sim.now();
+        loop {
+            if self.audit().under_replicated.is_empty() {
+                return Some(self.sim.now() - start);
+            }
+            if self.sim.now() - start >= max {
+                return None;
+            }
+            self.sim.run_for(step);
+            self.sim.drain_upcalls();
+        }
+    }
+
+    /// Total lookups issued / found so far.
+    pub fn lookup_totals(&self) -> (usize, usize) {
+        (self.lookups_attempted, self.lookups_ok)
+    }
+
+    /// Network-level fault counters.
+    pub fn net_stats(&self) -> NetStats {
+        self.sim.stats()
+    }
+
+    /// Reliable-maintenance counters summed over every node (including
+    /// currently crashed ones — their counters survive the crash).
+    pub fn maint_totals(&self) -> MaintStats {
+        let mut total = MaintStats::default();
+        for e in &self.entries {
+            if let Some(n) = self.sim.node(e.addr) {
+                let s = n.app().maint_stats();
+                total.sent += s.sent;
+                total.retries += s.retries;
+                total.acked += s.acked;
+                total.exhausted += s.exhausted;
+            }
+        }
+        total
+    }
+
+    /// Walks every live node and checks the global invariants. See the
+    /// module docs for what each counter means.
+    pub fn audit(&self) -> InvariantReport {
+        let mut report = InvariantReport {
+            files: self.files.len(),
+            ..Default::default()
+        };
+        let live: Vec<&PastOverlayNode> = self
+            .entries
+            .iter()
+            .filter(|e| self.sim.is_up(e.addr))
+            .filter_map(|e| self.sim.node(e.addr))
+            .collect();
+        report.live_nodes = live.len();
+
+        // Is `holder` alive and holding the bytes of `fid`?
+        let holds_live = |holder: &NodeEntry, fid: FileId| -> bool {
+            self.sim.is_up(holder.addr)
+                && self
+                    .sim
+                    .node(holder.addr)
+                    .map(|n| n.app().store().holds_replica(fid))
+                    .unwrap_or(false)
+        };
+
+        // Reachable copies per audited file: a primary replica counts
+        // directly; a diverted replica counts through the A→B pointer
+        // that owns it (never directly, to avoid double counting).
+        let mut copies: HashMap<FileId, usize> = HashMap::new();
+        for node in &live {
+            let app = node.app();
+            for (fid, replica) in app.store().primaries() {
+                if replica.diverted_from.is_none() {
+                    *copies.entry(*fid).or_insert(0) += 1;
+                }
+            }
+            for (fid, holder) in app.store().pointers() {
+                if holds_live(holder, *fid) {
+                    *copies.entry(*fid).or_insert(0) += 1;
+                } else {
+                    report.dangling_pointers += 1;
+                }
+            }
+        }
+        for &(fid, _) in &self.files {
+            let found = copies.get(&fid).copied().unwrap_or(0);
+            let required = (self.cfg.past.k as usize).min(report.live_nodes);
+            if found < required {
+                report.under_replicated.push(UnderReplicated {
+                    file_id: fid,
+                    found,
+                    required,
+                });
+            }
+        }
+
+        // Pointer ↔ certificate pairing, both roles and both directions.
+        for node in &live {
+            let app = node.app();
+            let pointer_certs: Vec<FileId> = app.pointer_cert_ids().collect();
+            let backup_certs: Vec<FileId> = app.backup_cert_ids().collect();
+            for (fid, _) in app.store().pointers() {
+                if !pointer_certs.contains(fid) {
+                    report.pointers_missing_cert += 1;
+                }
+            }
+            for fid in &pointer_certs {
+                if app.store().pointer(*fid).is_none() {
+                    report.orphan_certs += 1;
+                }
+            }
+            for (fid, _) in app.store().backup_pointers() {
+                if !backup_certs.contains(fid) {
+                    report.pointers_missing_cert += 1;
+                }
+            }
+            for fid in &backup_certs {
+                if app.store().backup_pointer(*fid).is_none() {
+                    report.orphan_certs += 1;
+                }
+            }
+        }
+
+        // Quota conservation at the (churn-protected) client.
+        report.quota_expected = self
+            .files
+            .iter()
+            .map(|&(_, size)| size.saturating_mul(self.cfg.past.k as u64))
+            .sum();
+        report.quota_used = self
+            .sim
+            .node(CLIENT)
+            .map(|n| n.app().quota().used())
+            .unwrap_or(0);
+        report
+    }
+}

@@ -104,6 +104,10 @@ impl ExperimentConfig {
             client_timeout: SimDuration::ZERO,
             migration_period: SimDuration::ZERO,
             migration_batch: 4,
+            maint_ack_timeout: SimDuration::from_secs(2),
+            maint_retry_budget: 5,
+            anti_entropy_period: SimDuration::ZERO,
+            anti_entropy_batch: 8,
         }
     }
 

@@ -8,10 +8,18 @@
 //! overlay and replays a `past-workload` trace; [`ExperimentResult`]
 //! exposes exactly the aggregates each table and figure needs.
 
+//!
+//! [`ChurnRunner`] drives the robustness experiments instead: it
+//! subjects a smaller overlay to fault-plan churn (crashes, partitions,
+//! message loss) and audits the §3.5 storage invariants globally,
+//! reporting violations as a structured [`InvariantReport`].
+
+mod churn;
 mod config;
 mod metrics;
 mod runner;
 
+pub use churn::{ChurnConfig, ChurnRunner, InvariantReport, UnderReplicated, CLIENT};
 pub use config::{ExperimentConfig, TopologyKind};
 pub use metrics::{ExperimentResult, InsertRecord, LookupRecord};
 pub use runner::{run_experiment, Runner};

@@ -233,7 +233,10 @@ impl Runner {
                         cache_hit: is_cache_hit(kind),
                     });
                 }
-                PastEvent::ReclaimDone { .. } | PastEvent::InsertAttemptAborted { .. } => {}
+                PastEvent::ReclaimDone { .. }
+                | PastEvent::InsertAttemptAborted { .. }
+                | PastEvent::MaintSkipped { .. }
+                | PastEvent::MaintExhausted { .. } => {}
             }
         }
     }

@@ -327,6 +327,16 @@ impl<H: Copy> NodeStore<H> {
         self.pointers.iter()
     }
 
+    /// The holder a diversion pointer for `id` references, if any.
+    pub fn pointer(&self, id: FileId) -> Option<&H> {
+        self.pointers.get(&id)
+    }
+
+    /// The holder a backup pointer for `id` references, if any.
+    pub fn backup_pointer(&self, id: FileId) -> Option<&H> {
+        self.backup_pointers.get(&id)
+    }
+
     /// Resolves a lookup against replicas, pointers, then the cache.
     /// Probing the cache updates its hit statistics only when the file is
     /// found nowhere else.

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local CI gate: build, full test suite, and lint — all offline.
+#
+# The workspace vendors its few dev-dependencies (see vendor/ and the
+# [patch.crates-io] table in Cargo.toml), so everything here runs with
+# no network access. Run from the repository root:
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release"
+cargo build --release --workspace --offline
+
+echo "== cargo test"
+# The root package is a facade; --workspace covers every crate.
+cargo test -q --workspace --no-fail-fast --offline
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "CI OK"
