@@ -48,6 +48,14 @@ fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
     // Anti-entropy backs up the acked retries during sustained churn.
     cfg.past.anti_entropy_period = SimDuration::from_secs(10);
     let mut r = ChurnRunner::build(cfg);
+    // PAST_METRICS=1 records a past-obs report per grid cell into
+    // results/metrics_churn_mtbf<m>_loss<l>.json (off by default: the
+    // bench's wall-clock numbers are taken without recording).
+    let metrics_on = env_usize("PAST_METRICS", 0) != 0;
+    if metrics_on {
+        let label = format!("churn_mtbf{}_loss{}", mtbf_s, (loss * 100.0) as u32);
+        r.enable_metrics(&label);
+    }
     let inserted = r.insert_files();
     assert!(inserted > 0, "no insert succeeded before churn");
 
@@ -78,6 +86,10 @@ fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
         SimDuration::from_secs(300),
     );
     r.heal(SimDuration::from_secs(10));
+    if metrics_on {
+        r.snapshot_metrics();
+        r.finish_metrics();
+    }
     let report = r.audit();
     let maint = r.maint_totals();
     let net = r.net_stats();

@@ -140,3 +140,30 @@ pub fn progress_logger(label: &'static str) -> impl FnMut(usize, usize) + 'stati
         }
     }
 }
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn storage_row_matches_header_shape() {
+        let r = ExperimentResult::default();
+        let row = storage_row("defaults", &r);
+        assert_eq!(row.len(), storage_header().len());
+        assert_eq!(row[0], "defaults");
+        // An empty result renders as all-zero percentages, not NaN.
+        assert_eq!(row[1], "0.00%");
+        assert_eq!(row[5], "0.0%");
+    }
+
+    #[test]
+    fn write_csv_emits_header_and_rows() {
+        let header: Vec<String> = ["a", "b"].iter().map(|s| s.to_string()).collect();
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        write_csv("bench_lib_selftest", &header, &rows);
+        let path = std::path::Path::new("results/bench_lib_selftest.csv");
+        let body = std::fs::read_to_string(path).expect("csv written");
+        assert_eq!(body, "a,b\n1,2\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

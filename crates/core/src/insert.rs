@@ -7,6 +7,7 @@ use past_pastry::NodeEntry;
 
 use crate::events::PastEvent;
 use crate::messages::{MsgKind, ReqId};
+use crate::obs;
 use crate::node::{InsertCoord, PCtx, PastNode, PendingDiversion, PendingOp};
 
 impl PastNode {
@@ -68,6 +69,13 @@ impl PastNode {
         }
         let candidates = ctx.replica_candidates(file_id.as_key(), self.cfg.k as usize);
         let own = ctx.own();
+        past_obs::span_event(
+            obs::req_span(&req),
+            ctx.now().micros(),
+            own.addr.0,
+            "coordinate",
+            candidates.len() as i64,
+        );
         self.coords.insert(
             req.key(),
             InsertCoord {
@@ -136,6 +144,18 @@ impl PastNode {
                 // closest, preferring maximal remaining free space.
                 match self.pick_diversion_target(ctx, file_id) {
                     Some(target) => {
+                        if past_obs::is_enabled() {
+                            past_obs::counter("past.divert.requested", 1);
+                            if let Some(req) = req {
+                                past_obs::span_event(
+                                    obs::req_span(&req),
+                                    ctx.now().micros(),
+                                    ctx.own().addr.0,
+                                    "divert_request",
+                                    target.addr.0 as i64,
+                                );
+                            }
+                        }
                         self.diversions.insert(
                             file_id,
                             PendingDiversion {
@@ -215,6 +235,29 @@ impl PastNode {
         } else {
             self.store.store_diverted(cert, requester).is_ok()
         };
+        if past_obs::is_enabled() {
+            past_obs::counter(
+                if accepted {
+                    "past.divert.accepted"
+                } else {
+                    "past.divert.rejected"
+                },
+                1,
+            );
+            if let Some(req) = req {
+                past_obs::span_event(
+                    obs::req_span(&req),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    if accepted {
+                        "divert_accept"
+                    } else {
+                        "divert_reject"
+                    },
+                    size as i64,
+                );
+            }
+        }
         if accepted {
             ctx.emit(PastEvent::ReplicaStored {
                 file_id,
@@ -393,6 +436,16 @@ impl PastNode {
                 // Abort: discard everything stored so far, fail the
                 // attempt back to the client (file diversion follows).
                 let coord = self.coords.remove(&req.key()).expect("present");
+                if past_obs::is_enabled() {
+                    past_obs::counter("past.insert.attempt_aborted", 1);
+                    past_obs::span_event(
+                        obs::req_span(&req),
+                        ctx.now().micros(),
+                        ctx.own().addr.0,
+                        "abort",
+                        coord.stored.len() as i64,
+                    );
+                }
                 ctx.emit(PastEvent::InsertAttemptAborted { file_id });
                 for node in coord.stored {
                     self.send_discard(ctx, node, file_id);
@@ -492,6 +545,11 @@ impl PastNode {
         let verified = !self.cfg.verify_certificates
             || receipts.iter().all(|r| r.verify().is_ok());
         if ok && receipts.len() as u32 == expected && verified {
+            if past_obs::is_enabled() {
+                past_obs::counter("past.insert.ok", 1);
+                past_obs::observe("past.insert.attempts", attempts as u64);
+                past_obs::span_end(obs::req_span(&req), ctx.now().micros(), "ok");
+            }
             ctx.emit(PastEvent::InsertDone {
                 seq: req.seq,
                 file_id,
@@ -516,6 +574,16 @@ impl PastNode {
         old_cert: FileCertificate,
     ) {
         if attempts <= self.cfg.max_file_diversions {
+            if past_obs::is_enabled() {
+                past_obs::counter("past.insert.re_salt", 1);
+                past_obs::span_event(
+                    obs::client_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    "re_salt",
+                    (attempts + 1) as i64,
+                );
+            }
             let cert = self.issue_cert(ctx, &name, size, attempts + 1);
             self.pending.insert(
                 seq,
@@ -533,6 +601,14 @@ impl PastNode {
             let _ = self
                 .quota
                 .credit(size.saturating_mul(self.cfg.k as u64));
+            if past_obs::is_enabled() {
+                past_obs::counter("past.insert.fail", 1);
+                past_obs::span_end(
+                    obs::client_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    "failed",
+                );
+            }
             ctx.emit(PastEvent::InsertDone {
                 seq,
                 file_id: old_cert.file_id,

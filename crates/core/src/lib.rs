@@ -26,6 +26,7 @@ mod lookup;
 mod maintain;
 mod messages;
 mod node;
+mod obs;
 mod reclaim;
 
 pub use config::PastConfig;

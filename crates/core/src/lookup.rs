@@ -9,6 +9,23 @@ use past_store::Resolution;
 use crate::events::PastEvent;
 use crate::messages::{HitKind, MsgKind, ReqId};
 use crate::node::{PCtx, PastNode, PendingOp};
+use crate::obs;
+
+fn hit_label(kind: HitKind) -> &'static str {
+    match kind {
+        HitKind::Primary => "hit_primary",
+        HitKind::Diverted => "hit_diverted",
+        HitKind::Cached => "hit_cached",
+    }
+}
+
+fn hit_counter(kind: HitKind) -> &'static str {
+    match kind {
+        HitKind::Primary => "past.lookup.hit.primary",
+        HitKind::Diverted => "past.lookup.hit.diverted",
+        HitKind::Cached => "past.lookup.hit.cached",
+    }
+}
 
 impl PastNode {
     /// A lookup reached the node responsible for the key without being
@@ -66,6 +83,13 @@ impl PastNode {
                 return;
             }
         };
+        past_obs::span_event(
+            obs::req_span(&req),
+            ctx.now().micros(),
+            ctx.own().addr.0,
+            hit_label(kind),
+            hops as i64,
+        );
         // Response retraces the request path (closest forwarder first),
         // ending at the client.
         let mut reverse: Vec<NodeEntry> = path.into_iter().rev().collect();
@@ -147,6 +171,12 @@ impl PastNode {
         match self.pending.remove(&req.seq) {
             Some(PendingOp::Lookup { file_id }) => {
                 debug_assert_eq!(file_id, cert.file_id);
+                if past_obs::is_enabled() {
+                    past_obs::counter("past.lookup.ok", 1);
+                    past_obs::counter(hit_counter(kind), 1);
+                    past_obs::observe("past.lookup.hops", hops as u64);
+                    past_obs::span_end(obs::req_span(&req), ctx.now().micros(), hit_label(kind));
+                }
                 ctx.emit(PastEvent::LookupDone {
                     seq: req.seq,
                     file_id,
@@ -166,6 +196,10 @@ impl PastNode {
     pub(crate) fn on_lookup_miss(&mut self, ctx: &mut PCtx<'_, '_>, req: ReqId, file_id: FileId) {
         match self.pending.remove(&req.seq) {
             Some(PendingOp::Lookup { .. }) => {
+                if past_obs::is_enabled() {
+                    past_obs::counter("past.lookup.miss", 1);
+                    past_obs::span_end(obs::req_span(&req), ctx.now().micros(), "miss");
+                }
                 ctx.emit(PastEvent::LookupDone {
                     seq: req.seq,
                     file_id,
@@ -191,6 +225,13 @@ impl PastNode {
         hops: u32,
         path: Vec<NodeEntry>,
     ) {
+        past_obs::span_event(
+            obs::req_span(&req),
+            ctx.now().micros(),
+            ctx.own().addr.0,
+            "fetch_diverted",
+            hops as i64,
+        );
         if self.store.holds_replica(file_id) {
             self.answer_lookup(ctx, req, file_id, path, hops + 1, HitKind::Diverted);
         } else {

@@ -9,6 +9,7 @@ use past_pastry::NodeEntry;
 use crate::events::PastEvent;
 use crate::messages::MsgKind;
 use crate::node::{PCtx, PastNode, PendingMaint, MAINT_RETRY_BASE};
+use crate::obs;
 
 impl PastNode {
     /// Sends a maintenance message reliably: enveloped with a sequence
@@ -17,12 +18,27 @@ impl PastNode {
     /// fire-and-forget when `maint_ack_timeout` is zero.
     pub(crate) fn send_maint(&mut self, ctx: &mut PCtx<'_, '_>, to: NodeEntry, kind: MsgKind) {
         self.maint_stats.sent += 1;
+        past_obs::counter("maint.sent", 1);
         if self.cfg.maint_ack_timeout.micros() == 0 {
             self.send_to(ctx, to, kind);
             return;
         }
         let seq = self.next_maint_seq;
         self.next_maint_seq += 1;
+        if past_obs::is_enabled() {
+            past_obs::span_start(
+                obs::maint_span(ctx.own().addr, seq),
+                "maint",
+                ctx.now().micros(),
+            );
+            past_obs::span_event(
+                obs::maint_span(ctx.own().addr, seq),
+                ctx.now().micros(),
+                ctx.own().addr.0,
+                "send",
+                to.addr.0 as i64,
+            );
+        }
         self.maint_pending.insert(
             seq,
             PendingMaint {
@@ -44,9 +60,17 @@ impl PastNode {
     }
 
     /// The receiver acknowledged maintenance message `seq`.
-    pub(crate) fn on_maint_ack(&mut self, seq: u64) {
+    pub(crate) fn on_maint_ack(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64) {
         if self.maint_pending.remove(&seq).is_some() {
             self.maint_stats.acked += 1;
+            if past_obs::is_enabled() {
+                past_obs::counter("maint.acked", 1);
+                past_obs::span_end(
+                    obs::maint_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    "acked",
+                );
+            }
         }
     }
 
@@ -60,6 +84,14 @@ impl PastNode {
         if entry.attempts >= self.cfg.maint_retry_budget {
             let entry = self.maint_pending.remove(&seq).expect("present");
             self.maint_stats.exhausted += 1;
+            if past_obs::is_enabled() {
+                past_obs::counter("maint.exhausted", 1);
+                past_obs::span_end(
+                    obs::maint_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    "exhausted",
+                );
+            }
             if let Some(file_id) = entry.kind.maint_file_id() {
                 ctx.emit(PastEvent::MaintExhausted { file_id });
             }
@@ -67,8 +99,19 @@ impl PastNode {
         }
         entry.attempts += 1;
         entry.backoff = entry.backoff + entry.backoff;
-        let (to, kind, backoff) = (entry.to, entry.kind.clone(), entry.backoff);
+        let (to, kind, backoff, attempts) =
+            (entry.to, entry.kind.clone(), entry.backoff, entry.attempts);
         self.maint_stats.retries += 1;
+        if past_obs::is_enabled() {
+            past_obs::counter("maint.retry", 1);
+            past_obs::span_event(
+                obs::maint_span(ctx.own().addr, seq),
+                ctx.now().micros(),
+                ctx.own().addr.0,
+                "retry",
+                attempts as i64,
+            );
+        }
         self.send_to(
             ctx,
             to,
@@ -87,7 +130,7 @@ impl PastNode {
     pub(crate) fn handle_neighbor_added(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry) {
         let own = ctx.own();
         let k = self.cfg.k as usize;
-        let displaced: Vec<(FileId, FileCertificate)> = self
+        let mut displaced: Vec<(FileId, FileCertificate)> = self
             .store
             .primaries()
             .filter_map(|(id, replica)| {
@@ -101,6 +144,10 @@ impl PastNode {
                 }
             })
             .collect();
+        // The store's maps iterate in per-instance random order; batches
+        // derived from them are sorted so same-seed runs send identical
+        // message sequences (maintenance seq numbers included).
+        displaced.sort_by_key(|(id, _)| *id);
         for (file_id, cert) in displaced {
             // "The joining node may install a pointer in its file table,
             // referring to the node that has just ceased to be one of the
@@ -149,6 +196,7 @@ impl PastNode {
                 }
             }
         }
+        to_restore.sort_by_key(|(_, cert)| cert.file_id);
         for (node, cert) in to_restore {
             self.send_maint(ctx, node, MsgKind::ReplicaTransfer { cert });
         }
@@ -156,12 +204,13 @@ impl PastNode {
         // lost; re-create it (locally if possible, else divert again). A
         // pointer whose certificate went missing cannot be repaired —
         // skip it with an event rather than panicking on the map lookup.
-        let lost: Vec<(FileId, Option<FileCertificate>)> = self
+        let mut lost: Vec<(FileId, Option<FileCertificate>)> = self
             .store
             .pointers()
             .filter(|(_, holder)| holder.id == failed.id)
             .map(|(id, _)| (*id, self.pointer_certs.get(id).cloned()))
             .collect();
+        lost.sort_by_key(|(id, _)| *id);
         for (file_id, cert) in lost {
             self.store.remove_pointer(file_id);
             self.pointer_certs.remove(&file_id);
@@ -183,7 +232,7 @@ impl PastNode {
         // stays reachable from this node. Only pointers whose recorded
         // installer is the failed node are promoted; backups for live
         // diverting nodes stay backups.
-        let promoted: Vec<(FileId, NodeEntry)> = self
+        let mut promoted: Vec<(FileId, NodeEntry)> = self
             .store
             .backup_pointers()
             .filter(|(id, holder)| {
@@ -191,6 +240,7 @@ impl PastNode {
             })
             .map(|(id, holder)| (*id, *holder))
             .collect();
+        promoted.sort_by_key(|(id, _)| *id);
         for (file_id, holder) in promoted {
             if self.store.remove_backup_pointer(file_id).is_some() {
                 self.backup_owner.remove(&file_id);
@@ -209,12 +259,13 @@ impl PastNode {
         // (d) Backup pointers whose replica holder B failed reference a
         // replica that no longer exists; A's branch (b) re-creates it,
         // so the stale backup is dropped here.
-        let stale: Vec<FileId> = self
+        let mut stale: Vec<FileId> = self
             .store
             .backup_pointers()
             .filter(|(_, holder)| holder.id == failed.id)
             .map(|(id, _)| *id)
             .collect();
+        stale.sort();
         for file_id in stale {
             self.store.remove_backup_pointer(file_id);
             self.backup_certs.remove(&file_id);
@@ -289,16 +340,23 @@ impl PastNode {
     /// up to `migration_batch` pointed-to files whose replica lives on a
     /// node outside this node's leaf set or that this node should own.
     pub(crate) fn migration_sweep(&mut self, ctx: &mut PCtx<'_, '_>) {
-        let batch: Vec<(FileId, NodeEntry)> = self
+        let mut pointed: Vec<(FileId, NodeEntry)> = self
             .store
             .pointers()
-            .take(self.cfg.migration_batch)
             .map(|(id, holder)| (*id, *holder))
             .collect();
-        for (file_id, holder) in batch {
+        // Sorted (not HashMap-order) so the batch picked each sweep is
+        // the same across same-seed runs.
+        pointed.sort_by_key(|(id, _)| *id);
+        let mut migrated = 0;
+        for (file_id, holder) in pointed {
+            if migrated == self.cfg.migration_batch {
+                break;
+            }
             // Only migrate files this node should hold itself.
             if ctx.is_among_k_closest(file_id.as_key(), self.cfg.k as usize) {
                 self.send_maint(ctx, holder, MsgKind::FetchReplica { file_id });
+                migrated += 1;
             }
         }
     }

@@ -12,6 +12,7 @@ use past_store::{NodeStore, Resolution};
 use crate::config::PastConfig;
 use crate::events::PastEvent;
 use crate::messages::{HitKind, MsgKind, PastMsg, ReqId};
+use crate::obs;
 
 /// Context alias used by every PAST handler.
 pub(crate) type PCtx<'a, 'b> = AppCtx<'a, 'b, PastMsg, PastEvent>;
@@ -253,9 +254,22 @@ impl PastNode {
     pub fn insert(&mut self, ctx: &mut PCtx<'_, '_>, name: &str, size: u64) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if past_obs::is_enabled() {
+            past_obs::counter("past.insert.started", 1);
+            past_obs::span_start(
+                obs::client_span(ctx.own().addr, seq),
+                "insert",
+                ctx.now().micros(),
+            );
+        }
         // "The required storage (file size times k) is debited against
         // the client's storage quota."
         if self.quota.debit(size.saturating_mul(self.cfg.k as u64)).is_err() {
+            past_obs::span_end(
+                obs::client_span(ctx.own().addr, seq),
+                ctx.now().micros(),
+                "quota_exhausted",
+            );
             ctx.emit(PastEvent::InsertDone {
                 seq,
                 file_id: FileId::from_bytes([0u8; 20]),
@@ -285,10 +299,23 @@ impl PastNode {
     pub fn lookup(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if past_obs::is_enabled() {
+            past_obs::counter("past.lookup.started", 1);
+            past_obs::span_start(
+                obs::client_span(ctx.own().addr, seq),
+                "lookup",
+                ctx.now().micros(),
+            );
+        }
         // Check local storage first: a client that stores or caches the
         // file fetches it at zero routing hops.
         match self.store.resolve(file_id) {
             Resolution::Primary | Resolution::DivertedHere => {
+                past_obs::span_end(
+                    obs::client_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    "local_primary",
+                );
                 ctx.emit(PastEvent::LookupDone {
                     seq,
                     file_id,
@@ -299,6 +326,11 @@ impl PastNode {
                 return seq;
             }
             Resolution::Cached => {
+                past_obs::span_end(
+                    obs::client_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    "local_cached",
+                );
                 ctx.emit(PastEvent::LookupDone {
                     seq,
                     file_id,
@@ -313,6 +345,13 @@ impl PastNode {
                     client: ctx.own(),
                     seq,
                 };
+                past_obs::span_event(
+                    obs::req_span(&req),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    "local_pointer",
+                    holder.addr.0 as i64,
+                );
                 self.pending.insert(seq, PendingOp::Lookup { file_id });
                 self.send_to(
                     ctx,
@@ -349,6 +388,14 @@ impl PastNode {
     pub fn reclaim(&mut self, ctx: &mut PCtx<'_, '_>, file_id: FileId) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
+        if past_obs::is_enabled() {
+            past_obs::counter("past.reclaim.started", 1);
+            past_obs::span_start(
+                obs::client_span(ctx.own().addr, seq),
+                "reclaim",
+                ctx.now().micros(),
+            );
+        }
         let req = ReqId {
             client: ctx.own(),
             seq,
@@ -411,10 +458,25 @@ impl PastNode {
                 attempts,
                 cert,
             } => {
+                past_obs::span_event(
+                    obs::client_span(ctx.own().addr, seq),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    "timeout",
+                    attempts as i64,
+                );
                 // Treat like a failed attempt: re-salt or give up.
                 self.retry_or_fail_insert(ctx, seq, name, size, attempts, cert);
             }
             PendingOp::Lookup { file_id } => {
+                if past_obs::is_enabled() {
+                    past_obs::counter("past.lookup.timeout", 1);
+                    past_obs::span_end(
+                        obs::client_span(ctx.own().addr, seq),
+                        ctx.now().micros(),
+                        "timeout",
+                    );
+                }
                 ctx.emit(PastEvent::LookupDone {
                     seq,
                     file_id,
@@ -424,6 +486,14 @@ impl PastNode {
                 });
             }
             PendingOp::Reclaim { file_id } => {
+                if past_obs::is_enabled() {
+                    past_obs::counter("past.reclaim.timeout", 1);
+                    past_obs::span_end(
+                        obs::client_span(ctx.own().addr, seq),
+                        ctx.now().micros(),
+                        "timeout",
+                    );
+                }
                 ctx.emit(PastEvent::ReclaimDone {
                     seq,
                     file_id,
@@ -478,6 +548,13 @@ impl Application for PastNode {
     ) -> bool {
         match &mut msg.kind {
             MsgKind::Insert { req, cert } => {
+                past_obs::span_event(
+                    obs::req_span(req),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    "hop",
+                    hops as i64,
+                );
                 // "When an insert request message first reaches a node
                 // with a nodeId among the k numerically closest to the
                 // fileId", that node takes over as coordinator.
@@ -494,6 +571,13 @@ impl Application for PastNode {
             }
             MsgKind::Lookup { req, file_id, path } => {
                 let (req, file_id) = (*req, *file_id);
+                past_obs::span_event(
+                    obs::req_span(&req),
+                    ctx.now().micros(),
+                    ctx.own().addr.0,
+                    "hop",
+                    hops as i64,
+                );
                 // "As soon as the request message reaches a node that
                 // stores the file, that node responds with the content."
                 match self.store.resolve(file_id) {
@@ -624,7 +708,7 @@ impl Application for PastNode {
                     }
                 }
             }
-            MsgKind::MaintAck { seq } => self.on_maint_ack(seq),
+            MsgKind::MaintAck { seq } => self.on_maint_ack(ctx, seq),
             MsgKind::Insert { .. } | MsgKind::Lookup { .. } | MsgKind::Reclaim { .. } => {
                 debug_assert!(false, "routed message arrived as a direct message");
             }

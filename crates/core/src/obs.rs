@@ -1,0 +1,35 @@
+//! Bridges PAST request identities to `past-obs` span ids.
+//!
+//! A client operation is already uniquely identified across the
+//! overlay by [`ReqId`] (originating node address + per-node
+//! sequence), so the same pair keys its span from any node the
+//! operation touches. Maintenance exchanges draw sequence numbers
+//! from a per-node space of their own, so their spans set
+//! [`past_obs::span::MAINT_SPAN_BIT`] to stay disjoint.
+
+use past_net::Addr;
+use past_obs::span::MAINT_SPAN_BIT;
+use past_obs::SpanId;
+
+use crate::messages::ReqId;
+
+/// The span id of a client operation, from its request id.
+pub(crate) fn req_span(req: &ReqId) -> SpanId {
+    SpanId {
+        node: req.client.addr.0,
+        seq: req.seq,
+    }
+}
+
+/// The span id of a client operation, at the originating node.
+pub(crate) fn client_span(addr: Addr, seq: u64) -> SpanId {
+    SpanId { node: addr.0, seq }
+}
+
+/// The span id of an acked maintenance exchange.
+pub(crate) fn maint_span(addr: Addr, seq: u64) -> SpanId {
+    SpanId {
+        node: addr.0,
+        seq: MAINT_SPAN_BIT | seq,
+    }
+}

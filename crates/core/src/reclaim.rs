@@ -8,6 +8,7 @@ use past_store::Resolution;
 use crate::events::PastEvent;
 use crate::messages::{MsgKind, ReqId};
 use crate::node::{PCtx, PastNode, PendingOp};
+use crate::obs;
 
 impl PastNode {
     /// A reclaim request reached one of the k responsible nodes: verify
@@ -52,6 +53,13 @@ impl PastNode {
         // Dispatch to every candidate holder (including self).
         let candidates =
             ctx.replica_candidates(file_id.as_key(), self.cfg.k as usize);
+        past_obs::span_event(
+            obs::req_span(&req),
+            ctx.now().micros(),
+            ctx.own().addr.0,
+            "coordinate",
+            candidates.len() as i64,
+        );
         let own = ctx.own();
         for node in candidates {
             if node.id == own.id {
@@ -125,6 +133,21 @@ impl PastNode {
     ) {
         match self.pending.remove(&req.seq) {
             Some(PendingOp::Reclaim { .. }) => {
+                if past_obs::is_enabled() {
+                    past_obs::counter(
+                        if ok {
+                            "past.reclaim.ok"
+                        } else {
+                            "past.reclaim.fail"
+                        },
+                        1,
+                    );
+                    past_obs::span_end(
+                        obs::req_span(&req),
+                        ctx.now().micros(),
+                        if ok { "ok" } else { "failed" },
+                    );
+                }
                 if ok {
                     let _ = self.quota.credit(freed);
                 }

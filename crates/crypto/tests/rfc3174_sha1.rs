@@ -1,0 +1,72 @@
+//! RFC 3174 (and FIPS 180-1) official SHA-1 test vectors, exercised
+//! through the public `past-crypto` API — including the 1-million-'a'
+//! digest and the incremental `update` path.
+
+use past_crypto::Sha1;
+
+fn hex(digest: &[u8; 20]) -> String {
+    digest.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+#[test]
+fn rfc3174_test1_abc() {
+    let d = Sha1::digest(b"abc");
+    assert_eq!(hex(d.as_bytes()), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+#[test]
+fn rfc3174_test2_two_block_message() {
+    let d = Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+    assert_eq!(hex(d.as_bytes()), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+#[test]
+fn rfc3174_test3_one_million_a() {
+    let data = vec![b'a'; 1_000_000];
+    let d = Sha1::digest(&data);
+    assert_eq!(hex(d.as_bytes()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+#[test]
+fn rfc3174_test4_repeated_digits() {
+    // TEST4: "01234567..." (8 digits × 8) repeated 10 times = 640 bytes.
+    let block = b"0123456701234567012345670123456701234567012345670123456701234567";
+    let mut data = Vec::with_capacity(640);
+    for _ in 0..10 {
+        data.extend_from_slice(block);
+    }
+    let d = Sha1::digest(&data);
+    assert_eq!(hex(d.as_bytes()), "dea356a2cddd90c7a7ecedc5ebb563934f460452");
+}
+
+#[test]
+fn fips_empty_message() {
+    let d = Sha1::digest(b"");
+    assert_eq!(hex(d.as_bytes()), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+#[test]
+fn incremental_update_matches_one_shot() {
+    // Split TEST3's input at awkward, non-block-aligned boundaries.
+    let data = vec![b'a'; 1_000_000];
+    let mut h = Sha1::new();
+    let mut off = 0usize;
+    for chunk in [1usize, 63, 64, 65, 1000, 998_614, 193] {
+        h.update(&data[off..off + chunk]);
+        off += chunk;
+    }
+    h.update(&data[off..]);
+    assert_eq!(h.finalize(), Sha1::digest(&data));
+}
+
+#[test]
+fn rfc3174_test2_incremental_split() {
+    // RFC 3174's driver feeds TEST2a then TEST2b via separate updates.
+    let mut h = Sha1::new();
+    h.update(b"abcdbcdecdefdefgefghfghighijhi");
+    h.update(b"jkijkljklmklmnlmnomnopnopq");
+    assert_eq!(
+        hex(h.finalize().as_bytes()),
+        "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+    );
+}

@@ -1,0 +1,249 @@
+//! Property tests for `U256` against independent reference
+//! big-integer arithmetic done digit-by-digit on big-endian byte
+//! arrays (schoolbook add/sub/mul, binary shift-subtract modulo) —
+//! no shared code with the limb-based implementation under test.
+
+use past_crypto::U256;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------
+// Reference arithmetic on big-endian byte digits.
+// ---------------------------------------------------------------------
+
+/// a + b over 32 big-endian digits, returning (sum mod 2^256, carry).
+fn ref_add(a: &[u8; 32], b: &[u8; 32]) -> ([u8; 32], bool) {
+    let mut out = [0u8; 32];
+    let mut carry = 0u16;
+    for i in (0..32).rev() {
+        let s = a[i] as u16 + b[i] as u16 + carry;
+        out[i] = (s & 0xff) as u8;
+        carry = s >> 8;
+    }
+    (out, carry != 0)
+}
+
+/// a − b over 32 big-endian digits, returning (diff mod 2^256, borrow).
+fn ref_sub(a: &[u8; 32], b: &[u8; 32]) -> ([u8; 32], bool) {
+    let mut out = [0u8; 32];
+    let mut borrow = 0i16;
+    for i in (0..32).rev() {
+        let d = a[i] as i16 - b[i] as i16 - borrow;
+        if d < 0 {
+            out[i] = (d + 256) as u8;
+            borrow = 1;
+        } else {
+            out[i] = d as u8;
+            borrow = 0;
+        }
+    }
+    (out, borrow != 0)
+}
+
+/// Schoolbook a × b: 64 big-endian digits, exact.
+fn ref_mul(a: &[u8; 32], b: &[u8; 32]) -> [u8; 64] {
+    let mut acc = [0u32; 64];
+    for i in 0..32 {
+        for j in 0..32 {
+            acc[i + j + 1] += a[i] as u32 * b[j] as u32;
+        }
+    }
+    // Propagate carries from the least-significant digit up.
+    let mut out = [0u8; 64];
+    let mut carry = 0u32;
+    for i in (0..64).rev() {
+        let v = acc[i] + carry;
+        out[i] = (v & 0xff) as u8;
+        carry = v >> 8;
+    }
+    debug_assert_eq!(carry, 0, "product fits in 512 bits");
+    out
+}
+
+fn ge33(a: &[u8; 33], b: &[u8; 33]) -> bool {
+    for i in 0..33 {
+        if a[i] != b[i] {
+            return a[i] > b[i];
+        }
+    }
+    true
+}
+
+fn sub33(a: &mut [u8; 33], b: &[u8; 33]) {
+    let mut borrow = 0i16;
+    for i in (0..33).rev() {
+        let d = a[i] as i16 - b[i] as i16 - borrow;
+        if d < 0 {
+            a[i] = (d + 256) as u8;
+            borrow = 1;
+        } else {
+            a[i] = d as u8;
+            borrow = 0;
+        }
+    }
+    debug_assert_eq!(borrow, 0, "sub33 caller guarantees a >= b");
+}
+
+/// Binary long division remainder: `num mod m`, one bit at a time.
+fn ref_mod(num: &[u8; 64], m: &[u8; 32]) -> [u8; 32] {
+    let mut m33 = [0u8; 33];
+    m33[1..].copy_from_slice(m);
+    let mut rem = [0u8; 33];
+    for bit in 0..512 {
+        // rem = (rem << 1) | next bit of num.
+        let mut carry = (num[bit / 8] >> (7 - bit % 8)) & 1;
+        for i in (0..33).rev() {
+            let v = ((rem[i] as u16) << 1) | carry as u16;
+            rem[i] = (v & 0xff) as u8;
+            carry = (v >> 8) as u8;
+        }
+        if ge33(&rem, &m33) {
+            sub33(&mut rem, &m33);
+        }
+    }
+    let mut out = [0u8; 32];
+    out.copy_from_slice(&rem[1..]);
+    out
+}
+
+fn widen(a: &[u8; 32]) -> [u8; 64] {
+    let mut out = [0u8; 64];
+    out[32..].copy_from_slice(a);
+    out
+}
+
+fn is_zero(a: &[u8; 32]) -> bool {
+    a.iter().all(|&b| b == 0)
+}
+
+// ---------------------------------------------------------------------
+// Properties.
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn prop_bytes_roundtrip(a in any::<[u8; 32]>()) {
+        prop_assert_eq!(U256::from_be_bytes(a).to_be_bytes(), a);
+    }
+
+    #[test]
+    fn prop_add_matches_reference(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let (sum, carry) = U256::from_be_bytes(a).overflowing_add(U256::from_be_bytes(b));
+        let (ref_sum, ref_carry) = ref_add(&a, &b);
+        prop_assert_eq!(sum.to_be_bytes(), ref_sum);
+        prop_assert_eq!(carry, ref_carry);
+    }
+
+    #[test]
+    fn prop_sub_matches_reference(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        let (diff, borrow) = U256::from_be_bytes(a).overflowing_sub(U256::from_be_bytes(b));
+        let (ref_diff, ref_borrow) = ref_sub(&a, &b);
+        prop_assert_eq!(diff.to_be_bytes(), ref_diff);
+        prop_assert_eq!(borrow, ref_borrow);
+    }
+
+    #[test]
+    fn prop_add_sub_roundtrip(a in any::<[u8; 32]>(), b in any::<[u8; 32]>()) {
+        // (a + b) − b round-trips through the wrap-around.
+        let a256 = U256::from_be_bytes(a);
+        let (sum, _) = a256.overflowing_add(U256::from_be_bytes(b));
+        let (back, _) = sum.overflowing_sub(U256::from_be_bytes(b));
+        prop_assert_eq!(back, a256);
+    }
+
+    #[test]
+    fn prop_reduce_mod_matches_reference(a in any::<[u8; 32]>(), m in any::<[u8; 32]>()) {
+        prop_assume!(!is_zero(&m));
+        let got = U256::from_be_bytes(a).reduce_mod(U256::from_be_bytes(m));
+        prop_assert_eq!(got.to_be_bytes(), ref_mod(&widen(&a), &m));
+    }
+
+    #[test]
+    fn prop_mulmod_matches_reference(
+        a in any::<[u8; 32]>(),
+        b in any::<[u8; 32]>(),
+        m in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(!is_zero(&m));
+        let m256 = U256::from_be_bytes(m);
+        // mulmod expects operands already reduced below m.
+        let ar = U256::from_be_bytes(a).reduce_mod(m256);
+        let br = U256::from_be_bytes(b).reduce_mod(m256);
+        let got = ar.mulmod(br, m256);
+        prop_assert_eq!(
+            got.to_be_bytes(),
+            ref_mod(&ref_mul(&ar.to_be_bytes(), &br.to_be_bytes()), &m)
+        );
+    }
+
+    #[test]
+    fn prop_addmod_matches_reference(
+        a in any::<[u8; 32]>(),
+        b in any::<[u8; 32]>(),
+        m in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(!is_zero(&m));
+        let m256 = U256::from_be_bytes(m);
+        // addmod expects operands already reduced below m.
+        let ar = U256::from_be_bytes(a).reduce_mod(m256);
+        let br = U256::from_be_bytes(b).reduce_mod(m256);
+        let got = ar.addmod(br, m256);
+        let (sum, carry) = ref_add(&ar.to_be_bytes(), &br.to_be_bytes());
+        let mut wide = widen(&sum);
+        wide[31] = carry as u8;
+        prop_assert_eq!(got.to_be_bytes(), ref_mod(&wide, &m));
+    }
+
+    #[test]
+    fn prop_submod_matches_reference(
+        a in any::<[u8; 32]>(),
+        b in any::<[u8; 32]>(),
+        m in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(!is_zero(&m));
+        let m256 = U256::from_be_bytes(m);
+        let ar = U256::from_be_bytes(a).reduce_mod(m256);
+        let br = U256::from_be_bytes(b).reduce_mod(m256);
+        let got = ar.submod(br, m256);
+        let (arb, brb) = (ar.to_be_bytes(), br.to_be_bytes());
+        let expected = if ge33(&pad33(&arb), &pad33(&brb)) {
+            ref_sub(&arb, &brb).0
+        } else {
+            // ar + m − br; ar < br < m keeps the result below m (< 2^256).
+            let (s, carry) = ref_add(&arb, &m);
+            let mut t = pad33(&s);
+            t[0] = carry as u8;
+            sub33(&mut t, &pad33(&brb));
+            let mut out = [0u8; 32];
+            out.copy_from_slice(&t[1..]);
+            out
+        };
+        prop_assert_eq!(got.to_be_bytes(), expected);
+    }
+}
+
+fn pad33(a: &[u8; 32]) -> [u8; 33] {
+    let mut out = [0u8; 33];
+    out[1..].copy_from_slice(a);
+    out
+}
+
+// Pin the reference implementation itself with a couple of known values.
+#[test]
+fn reference_self_check() {
+    let two = {
+        let mut b = [0u8; 32];
+        b[31] = 2;
+        b
+    };
+    let three = {
+        let mut b = [0u8; 32];
+        b[31] = 3;
+        b
+    };
+    let (six, carry) = ref_add(&three, &three);
+    assert!(!carry);
+    assert_eq!(six[31], 6);
+    let prod = ref_mul(&two, &three);
+    assert_eq!(prod[63], 6);
+    assert_eq!(ref_mod(&widen(&six), &{ let mut m = [0u8; 32]; m[31] = 4; m })[31], 2);
+}

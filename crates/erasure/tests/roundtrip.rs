@@ -1,0 +1,84 @@
+//! Property tests for the Reed-Solomon codec: any k-of-n encode
+//! followed by losing up to `n - k` shards must decode byte-exactly,
+//! and the GF(256) table arithmetic must satisfy the field axioms.
+
+use past_erasure::{Gf256, ReedSolomon};
+use proptest::prelude::*;
+
+proptest! {
+    /// Encode, drop up to `parity` shards at arbitrary positions,
+    /// reconstruct, and compare against the original payload.
+    #[test]
+    fn prop_roundtrip_survives_parity_losses(
+        data_shards in 1usize..=10,
+        parity_shards in 1usize..=6,
+        payload in prop::collection::vec(any::<u8>(), 0..600),
+        drop_picks in prop::collection::vec(any::<usize>(), 0..6),
+    ) {
+        let rs = ReedSolomon::new(data_shards, parity_shards);
+        let total = data_shards + parity_shards;
+        let shards = rs.encode_bytes(&payload);
+        prop_assert_eq!(shards.len(), total);
+
+        let mut opt: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+        let mut dropped = Vec::new();
+        for pick in drop_picks {
+            if dropped.len() == parity_shards {
+                break;
+            }
+            let idx = pick % total;
+            if opt[idx].is_some() {
+                opt[idx] = None;
+                dropped.push(idx);
+            }
+        }
+
+        let out = rs.decode_bytes(&mut opt, payload.len());
+        prop_assert_eq!(out.unwrap(), payload);
+        // Reconstruction also refills the dropped shards in place.
+        for idx in dropped {
+            prop_assert!(opt[idx].is_some());
+        }
+    }
+
+    /// One loss beyond the parity budget must be rejected, not
+    /// silently mis-decoded.
+    #[test]
+    fn prop_too_many_losses_fail(
+        data_shards in 1usize..=8,
+        parity_shards in 1usize..=4,
+        payload in prop::collection::vec(any::<u8>(), 1..200),
+    ) {
+        let rs = ReedSolomon::new(data_shards, parity_shards);
+        let mut opt: Vec<Option<Vec<u8>>> =
+            rs.encode_bytes(&payload).into_iter().map(Some).collect();
+        for slot in opt.iter_mut().take(parity_shards + 1) {
+            *slot = None;
+        }
+        prop_assert!(rs.decode_bytes(&mut opt, payload.len()).is_err());
+    }
+
+    /// GF(256) field axioms over the table-driven arithmetic.
+    #[test]
+    fn prop_gf256_field_axioms(a in any::<u8>(), b in any::<u8>(), c in any::<u8>()) {
+        let gf = Gf256::new();
+        // Addition is xor: commutative, associative, self-inverse.
+        prop_assert_eq!(gf.add(a, b), gf.add(b, a));
+        prop_assert_eq!(gf.add(gf.add(a, b), c), gf.add(a, gf.add(b, c)));
+        prop_assert_eq!(gf.add(a, a), 0);
+        // Multiplication: commutative, associative, with identity 1.
+        prop_assert_eq!(gf.mul(a, b), gf.mul(b, a));
+        prop_assert_eq!(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+        prop_assert_eq!(gf.mul(a, 1), a);
+        prop_assert_eq!(gf.mul(a, 0), 0);
+        // Distributivity ties the two operations together.
+        prop_assert_eq!(gf.mul(a, gf.add(b, c)), gf.add(gf.mul(a, b), gf.mul(a, c)));
+        // Multiplicative inverses for every non-zero element.
+        if a != 0 {
+            prop_assert_eq!(gf.mul(a, gf.inv(a)), 1);
+            prop_assert_eq!(gf.div(gf.mul(b, a), a), b);
+        }
+        // pow agrees with repeated multiplication.
+        prop_assert_eq!(gf.pow(a, 3), gf.mul(gf.mul(a, a), a));
+    }
+}

@@ -481,16 +481,20 @@ impl<P: Protocol> Simulator<P> {
                 if self.fault_plan.severed(self.time, src, dst) {
                     self.stats.dropped += 1;
                     self.stats.partition_dropped += 1;
+                    past_obs::counter("net.partition_dropped", 1);
                 } else {
                     let p = self.loss_probability.max(self.fault_plan.loss_on(src, dst));
                     let lose = p > 0.0 && self.rng.gen::<f64>() < p;
                     if lose {
                         self.stats.dropped += 1;
                         self.stats.lost += 1;
+                        past_obs::counter("net.lost", 1);
                     } else if !self.is_up(dst) {
                         self.stats.dropped += 1;
+                        past_obs::counter("net.dropped_dead", 1);
                     } else {
                         self.stats.delivered += 1;
+                        past_obs::counter("net.delivered", 1);
                         self.dispatch(dst, |p, ctx| p.on_message(ctx, src, msg));
                     }
                 }
@@ -498,6 +502,7 @@ impl<P: Protocol> Simulator<P> {
             EventKind::Timer { node, token } => {
                 if self.is_up(node) {
                     self.stats.timers_fired += 1;
+                    past_obs::counter("net.timers_fired", 1);
                     self.dispatch(node, |p, ctx| p.on_timer(ctx, token));
                 }
             }
@@ -549,6 +554,10 @@ impl<P: Protocol> Simulator<P> {
                         let j = self.rng.gen_range(0..jitter_max + 1);
                         latency = latency + SimDuration::from_micros(j);
                         self.stats.jittered += 1;
+                    }
+                    if past_obs::is_enabled() {
+                        past_obs::counter("net.sent", 1);
+                        past_obs::observe("net.transit_us", latency.micros());
                     }
                     self.seq += 1;
                     self.queue.push(Event {

@@ -1,0 +1,72 @@
+//! Minimal hand-written JSON helpers (no serde; the workspace is
+//! offline and dependency-free by policy — see `churn_availability.rs`
+//! for the original idiom).
+
+/// Escapes a string for inclusion inside a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Joins already-serialized JSON values into an array literal.
+pub fn array(items: &[String]) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(item);
+    }
+    out.push(']');
+    out
+}
+
+/// Builds an object literal from `(key, already-serialized value)`
+/// pairs, preserving the given order.
+pub fn object(fields: &[(&str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(&escape(k));
+        out.push_str("\":");
+        out.push_str(v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn array_and_object_shapes() {
+        assert_eq!(array(&[]), "[]");
+        assert_eq!(array(&["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(
+            object(&[("a", "1".into()), ("b", "\"x\"".into())]),
+            "{\"a\":1,\"b\":\"x\"}"
+        );
+    }
+}

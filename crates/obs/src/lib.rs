@@ -1,0 +1,46 @@
+//! Hand-rolled observability for the PAST simulation: a metrics
+//! registry (counters, gauges, log-bucketed histograms), an operation
+//! span tracer that follows one insert/lookup/maintenance operation
+//! across hops, and hand-written JSON emission.
+//!
+//! Everything keys off the deterministic sim clock (`past-net`'s
+//! virtual microseconds), never the wall clock, and every emitted
+//! value is an integer — so the same seed produces byte-identical
+//! JSON, which makes the metrics output itself a regression oracle.
+//!
+//! The crate deliberately has **zero dependencies**: instrumented
+//! crates (`past-net`, `past-pastry`, `past-core`, `past-store`) call
+//! the free functions in [`recorder`], which no-op on a single
+//! thread-local boolean when no recorder is installed. The sim is
+//! single-threaded and Rust tests run one-per-thread, so a
+//! thread-local recorder isolates concurrent tests for free.
+//!
+//! Typical use from a harness:
+//!
+//! ```
+//! use past_obs::{self as obs, Recorder};
+//!
+//! obs::install(Recorder::new());
+//! obs::counter("demo.events", 1);
+//! obs::observe("demo.latency_us", 1500);
+//! let id = obs::SpanId { node: 7, seq: 1 };
+//! obs::span_start(id, "lookup", 0);
+//! obs::span_event(id, 40, 3, "hop", 1);
+//! obs::span_end(id, 95, "hit_primary");
+//! let mut rec = obs::uninstall().unwrap();
+//! rec.take_snapshot(95);
+//! let json = rec.report_json("demo", 42);
+//! assert!(json.contains("\"demo.events\":1"));
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod recorder;
+pub mod span;
+
+pub use metrics::{Histogram, MetricsRegistry};
+pub use recorder::{
+    counter, gauge, install, is_enabled, observe, span_end, span_event, span_start, uninstall,
+    with_recorder, Recorder,
+};
+pub use span::{OpSpan, SpanEvent, SpanId};

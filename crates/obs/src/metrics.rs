@@ -1,0 +1,284 @@
+//! The metrics registry: named counters, gauges, and log-bucketed
+//! latency histograms over sim virtual time.
+//!
+//! All aggregation is pure integer arithmetic and all maps are
+//! `BTreeMap`s, so a snapshot serializes to byte-identical JSON for
+//! the same sequence of recordings — regardless of platform or hash
+//! seeds.
+
+use std::collections::BTreeMap;
+
+use crate::json;
+
+/// Number of log2 buckets: bucket 0 holds the value 0, bucket `i`
+/// (1 ≤ i ≤ 64) holds values in `[2^(i-1), 2^i - 1]`.
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of `u64` samples (typically sim-time
+/// microseconds or hop counts).
+///
+/// Quantiles are reported as the upper bound of the bucket containing
+/// the requested rank, capped at the true observed maximum — an
+/// integer-only estimate that is deterministic and at most 2× off.
+#[derive(Clone)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+fn bucket_upper_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// Records one sample.
+    pub fn observe(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample recorded, or 0 if empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// The value at or above `pct` percent of samples (1 ≤ pct ≤ 100),
+    /// as the containing bucket's upper bound capped at `max`. Returns
+    /// 0 for an empty histogram.
+    pub fn quantile(&self, pct: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // rank = ceil(count * pct / 100), clamped to [1, count].
+        let rank = ((self.count * pct).div_ceil(100)).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Serializes the summary as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::object(&[
+            ("count", self.count.to_string()),
+            ("sum", self.sum.to_string()),
+            ("max", self.max.to_string()),
+            ("p50", self.quantile(50).to_string()),
+            ("p95", self.quantile(95).to_string()),
+            ("p99", self.quantile(99).to_string()),
+        ])
+    }
+}
+
+/// Named counters, gauges, and histograms.
+///
+/// Metric names are dotted paths (`"net.delivered"`,
+/// `"store.cache.hit.gds"`); the registry stores them in sorted order
+/// so emission is deterministic.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `delta` to the named counter (creating it at 0).
+    pub fn counter(&mut self, name: &str, delta: u64) {
+        *self.counters.entry_ref_or_insert(name) += delta;
+    }
+
+    /// Sets the named gauge to `value`.
+    pub fn gauge(&mut self, name: &str, value: i64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g = value,
+            None => {
+                self.gauges.insert(name.to_string(), value);
+            }
+        }
+    }
+
+    /// Records one sample into the named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                self.histograms.insert(name.to_string(), h);
+            }
+        }
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if ever set.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any samples were recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Serializes a point-in-time snapshot (all metrics plus the sim
+    /// timestamp) as a JSON object.
+    pub fn to_json(&self, at_us: u64) -> String {
+        let counters: Vec<(&str, String)> = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.to_string()))
+            .collect();
+        let gauges: Vec<(&str, String)> = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.to_string()))
+            .collect();
+        let histograms: Vec<(&str, String)> = self
+            .histograms
+            .iter()
+            .map(|(k, h)| (k.as_str(), h.to_json()))
+            .collect();
+        json::object(&[
+            ("at_us", at_us.to_string()),
+            ("counters", json::object(&counters)),
+            ("gauges", json::object(&gauges)),
+            ("histograms", json::object(&histograms)),
+        ])
+    }
+}
+
+// BTreeMap<String, u64> lacks an entry API over &str without
+// allocating; this tiny extension keeps the hot path allocation-free
+// for existing keys.
+trait EntryRefExt {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64;
+}
+
+impl EntryRefExt for BTreeMap<String, u64> {
+    fn entry_ref_or_insert(&mut self, name: &str) -> &mut u64 {
+        if !self.contains_key(name) {
+            self.insert(name.to_string(), 0);
+        }
+        self.get_mut(name).expect("just inserted")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_bucket_bounds_capped_at_max() {
+        let mut h = Histogram::default();
+        for v in [1u64, 2, 3, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 1000);
+        // rank(50) = ceil(5*50/100) = 3 → third sample: bucket of 3 → ub 3.
+        assert_eq!(h.quantile(50), 3);
+        // rank(95) = ceil(475/100) = 5 → bucket of 1000 = [512,1023] → capped at max.
+        assert_eq!(h.quantile(95), 1000);
+        assert_eq!(h.quantile(99), 1000);
+    }
+
+    #[test]
+    fn histogram_empty_and_zero() {
+        let mut h = Histogram::default();
+        assert_eq!(h.quantile(50), 0);
+        h.observe(0);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(99), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn registry_snapshot_is_sorted_and_integer_only() {
+        let mut r = MetricsRegistry::new();
+        r.counter("b.second", 2);
+        r.counter("a.first", 1);
+        r.gauge("z.gauge", -5);
+        r.observe("lat_us", 7);
+        let json = r.to_json(1234);
+        assert_eq!(
+            json,
+            "{\"at_us\":1234,\
+             \"counters\":{\"a.first\":1,\"b.second\":2},\
+             \"gauges\":{\"z.gauge\":-5},\
+             \"histograms\":{\"lat_us\":{\"count\":1,\"sum\":7,\"max\":7,\"p50\":7,\"p95\":7,\"p99\":7}}}"
+        );
+    }
+
+    #[test]
+    fn counter_accumulates_and_reads_back() {
+        let mut r = MetricsRegistry::new();
+        r.counter("x", 1);
+        r.counter("x", 41);
+        assert_eq!(r.counter_value("x"), 42);
+        assert_eq!(r.counter_value("missing"), 0);
+        r.gauge("g", 7);
+        r.gauge("g", 9);
+        assert_eq!(r.gauge_value("g"), Some(9));
+    }
+}

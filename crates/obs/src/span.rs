@@ -1,0 +1,141 @@
+//! Operation spans: one span follows a single insert, lookup,
+//! reclaim, or maintenance operation across nodes and hops, recording
+//! a structured timeline on the sim clock.
+//!
+//! A span is identified by [`SpanId`] — the originating node's network
+//! address plus the operation's request sequence number, which is how
+//! `past-core` already correlates replies (`ReqId`), so the same key
+//! works from any node the operation touches without shared state.
+
+use crate::json;
+
+/// Globally unique span identity: originating node address + per-node
+/// operation sequence number.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId {
+    /// Network address of the node that started the operation.
+    pub node: u32,
+    /// The operation's sequence number at that node. Maintenance
+    /// spans set the top bit to avoid colliding with client requests.
+    pub seq: u64,
+}
+
+/// Bit set in [`SpanId::seq`] for maintenance-protocol spans, which
+/// draw from a different sequence space than client requests.
+pub const MAINT_SPAN_BIT: u64 = 1 << 63;
+
+/// One timeline entry inside a span: where and when something
+/// happened, plus one integer of detail (hop count, target address,
+/// attempt number — whatever the label implies).
+#[derive(Clone, Copy, Debug)]
+pub struct SpanEvent {
+    /// Sim time in microseconds.
+    pub at_us: u64,
+    /// Network address of the node recording the event.
+    pub node: u32,
+    /// Static label, e.g. `"hop"`, `"divert_request"`, `"re_salt"`.
+    pub label: &'static str,
+    /// Label-specific integer payload.
+    pub value: i64,
+}
+
+/// A completed (or still-open) operation trace.
+#[derive(Clone, Debug)]
+pub struct OpSpan {
+    /// Identity (origin node + sequence).
+    pub id: SpanId,
+    /// Operation kind: `"insert"`, `"lookup"`, `"reclaim"`, `"maint"`.
+    pub kind: &'static str,
+    /// Sim time the operation started.
+    pub started_at: u64,
+    /// Sim time the operation ended (0 while open).
+    pub ended_at: u64,
+    /// Terminal outcome label (`"ok"`, `"hit_cached"`, `"timeout"`,
+    /// ...; empty while open).
+    pub outcome: &'static str,
+    /// Ordered timeline of events.
+    pub events: Vec<SpanEvent>,
+}
+
+impl OpSpan {
+    /// Opens a new span.
+    pub fn start(id: SpanId, kind: &'static str, at_us: u64) -> Self {
+        OpSpan {
+            id,
+            kind,
+            started_at: at_us,
+            ended_at: 0,
+            outcome: "",
+            events: Vec::new(),
+        }
+    }
+
+    /// Duration in sim microseconds (0 while open).
+    pub fn duration_us(&self) -> u64 {
+        self.ended_at.saturating_sub(self.started_at)
+    }
+
+    /// Serializes the span as a JSON object. The maintenance bit is
+    /// stripped from the emitted `seq` (the kind already says it).
+    pub fn to_json(&self) -> String {
+        let events: Vec<String> = self
+            .events
+            .iter()
+            .map(|e| {
+                json::object(&[
+                    ("at_us", e.at_us.to_string()),
+                    ("node", e.node.to_string()),
+                    ("label", format!("\"{}\"", json::escape(e.label))),
+                    ("value", e.value.to_string()),
+                ])
+            })
+            .collect();
+        json::object(&[
+            ("node", self.id.node.to_string()),
+            ("seq", (self.id.seq & !MAINT_SPAN_BIT).to_string()),
+            ("kind", format!("\"{}\"", json::escape(self.kind))),
+            ("start_us", self.started_at.to_string()),
+            ("end_us", self.ended_at.to_string()),
+            ("outcome", format!("\"{}\"", json::escape(self.outcome))),
+            ("events", json::array(&events)),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_json_shape() {
+        let mut s = OpSpan::start(SpanId { node: 3, seq: 9 }, "lookup", 100);
+        s.events.push(SpanEvent {
+            at_us: 140,
+            node: 5,
+            label: "hop",
+            value: 1,
+        });
+        s.ended_at = 220;
+        s.outcome = "hit_primary";
+        assert_eq!(
+            s.to_json(),
+            "{\"node\":3,\"seq\":9,\"kind\":\"lookup\",\"start_us\":100,\"end_us\":220,\
+             \"outcome\":\"hit_primary\",\
+             \"events\":[{\"at_us\":140,\"node\":5,\"label\":\"hop\",\"value\":1}]}"
+        );
+        assert_eq!(s.duration_us(), 120);
+    }
+
+    #[test]
+    fn maint_bit_stripped_in_json() {
+        let s = OpSpan::start(
+            SpanId {
+                node: 1,
+                seq: MAINT_SPAN_BIT | 4,
+            },
+            "maint",
+            0,
+        );
+        assert!(s.to_json().contains("\"seq\":4"));
+    }
+}

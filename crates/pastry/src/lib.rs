@@ -29,4 +29,4 @@ pub use leaf_set::{LeafSet, NodeEntry};
 pub use neighborhood::{Neighbor, NeighborhoodSet};
 pub use node::{AppCtx, Application, Body, Envelope, PastryNode};
 pub use routing_table::{RouteCell, RoutingTable};
-pub use state::{LeafChange, NextHop, PastryState};
+pub use state::{HopClass, LeafChange, NextHop, PastryState};

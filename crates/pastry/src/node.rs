@@ -439,14 +439,17 @@ impl<A: Application> PastryNode<A> {
         source: NodeEntry,
         mut msg: A::Msg,
     ) {
-        let hop = self.state.next_hop(
+        let (hop, class) = self.state.next_hop_explained(
             key,
             self.cfg.randomized_routing,
             self.cfg.best_hop_bias,
             Some(ctx.rng()),
         );
+        past_obs::counter(class.metric_name(), 1);
         match hop {
             NextHop::Local => {
+                past_obs::counter("pastry.delivered", 1);
+                past_obs::observe("pastry.route.hops", hops as u64);
                 let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
                 self.app.deliver(&mut app_ctx, key, msg, hops, source);
             }

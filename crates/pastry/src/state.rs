@@ -19,6 +19,35 @@ pub enum NextHop {
     Forward(NodeEntry),
 }
 
+/// Which routing structure resolved a hop (paper §2.1's three cases,
+/// plus local delivery). Exposed for hop-level tracing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HopClass {
+    /// Delivered locally (own key, leaf-set middle, or no better node).
+    Local,
+    /// Resolved by the leaf set (the key fell within its range).
+    LeafSet,
+    /// Resolved by the routing table's primary cell.
+    Table,
+    /// The rare case: no table entry, so a numerically closer known
+    /// node with an equal-length prefix was used (or, under randomized
+    /// routing, a non-primary admissible candidate).
+    Rare,
+}
+
+impl HopClass {
+    /// The metric counter name bumped when a hop of this class is
+    /// taken (see `past-obs`).
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            HopClass::Local => "pastry.resolve.local",
+            HopClass::LeafSet => "pastry.resolve.leaf_set",
+            HopClass::Table => "pastry.resolve.table",
+            HopClass::Rare => "pastry.resolve.rare",
+        }
+    }
+}
+
 /// What changed in the leaf set after learning about or losing a node.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub enum LeafChange {
@@ -149,16 +178,28 @@ impl PastryState {
         best_hop_bias: f64,
         rng: Option<&mut StdRng>,
     ) -> NextHop {
+        self.next_hop_explained(key, randomized, best_hop_bias, rng).0
+    }
+
+    /// [`next_hop`](Self::next_hop), plus which routing structure
+    /// resolved the decision (for hop-level tracing).
+    pub fn next_hop_explained(
+        &self,
+        key: NodeId,
+        randomized: bool,
+        best_hop_bias: f64,
+        rng: Option<&mut StdRng>,
+    ) -> (NextHop, HopClass) {
         if key == self.own.id {
-            return NextHop::Local;
+            return (NextHop::Local, HopClass::Local);
         }
         // Step 1: leaf set.
         if self.leaf.covers(key) {
             let best_member = self.leaf.closest(key);
             if self.leaf.is_empty() || self.own.id.closer_to(key, best_member.id) {
-                return NextHop::Local;
+                return (NextHop::Local, HopClass::Local);
             }
-            return NextHop::Forward(best_member);
+            return (NextHop::Forward(best_member), HopClass::LeafSet);
         }
         // Step 2 & 3: prefix routing with fallback, optionally randomized.
         let shared = self.own.id.shared_prefix_digits(key, self.b);
@@ -169,11 +210,11 @@ impl PastryState {
             .map(|c| c.entry);
         if !randomized {
             if let Some(entry) = primary {
-                return NextHop::Forward(entry);
+                return (NextHop::Forward(entry), HopClass::Table);
             }
             return match self.rare_case_candidate(key, shared) {
-                Some(entry) => NextHop::Forward(entry),
-                None => NextHop::Local,
+                Some(entry) => (NextHop::Forward(entry), HopClass::Rare),
+                None => (NextHop::Local, HopClass::Local),
             };
         }
         // Randomized: gather all admissible candidates. Admissibility
@@ -193,19 +234,29 @@ impl PastryState {
                 candidates.push(node);
             }
         }
+        // The hop class reflects whether the routing table's primary
+        // cell ends up chosen (Table) or an admissible alternative
+        // does (Rare), mirroring the deterministic classification.
         if candidates.is_empty() {
-            return NextHop::Local;
+            return (NextHop::Local, HopClass::Local);
         }
+        let class_of = |e: NodeEntry| {
+            if primary.map(|p| p.id) == Some(e.id) {
+                HopClass::Table
+            } else {
+                HopClass::Rare
+            }
+        };
         if candidates.len() == 1 {
-            return NextHop::Forward(candidates[0]);
+            return (NextHop::Forward(candidates[0]), class_of(candidates[0]));
         }
         if let Some(rng) = rng {
             if rng.gen::<f64>() >= best_hop_bias {
                 let idx = 1 + rng.gen_range(0..candidates.len() - 1);
-                return NextHop::Forward(candidates[idx]);
+                return (NextHop::Forward(candidates[idx]), class_of(candidates[idx]));
             }
         }
-        NextHop::Forward(candidates[0])
+        (NextHop::Forward(candidates[0]), class_of(candidates[0]))
     }
 
     /// Step 3 of routing: among all known nodes, one whose prefix match

@@ -145,6 +145,8 @@ pub struct ChurnRunner {
     lookups_attempted: usize,
     lookups_ok: usize,
     workload_rng: StdRng,
+    /// Label for `past-obs` recording (None = recording off).
+    metrics_label: Option<String>,
 }
 
 /// The client access point; excluded from churn plans built by
@@ -188,7 +190,37 @@ impl ChurnRunner {
             lookups_attempted: 0,
             lookups_ok: 0,
             workload_rng,
+            metrics_label: None,
         }
+    }
+
+    /// Enables `past-obs` recording for the phases that follow. The
+    /// caller drives snapshots ([`Self::snapshot_metrics`]) at phase
+    /// boundaries and closes the run with [`Self::finish_metrics`],
+    /// which writes `results/metrics_<label>.json`.
+    pub fn enable_metrics(&mut self, label: &str) {
+        self.metrics_label = Some(label.to_string());
+        past_obs::install(past_obs::Recorder::new());
+    }
+
+    /// Appends a registry snapshot stamped with the current sim time
+    /// (no-op unless [`Self::enable_metrics`] was called).
+    pub fn snapshot_metrics(&mut self) {
+        past_obs::gauge("net.queue_len", self.sim.queue_len() as i64);
+        past_obs::gauge("sim.files_live", self.files.len() as i64);
+        let at = self.sim.now().micros();
+        past_obs::with_recorder(|r| r.take_snapshot(at));
+    }
+
+    /// Takes a final snapshot, writes `results/metrics_<label>.json`,
+    /// and returns the report JSON (None if recording was off).
+    pub fn finish_metrics(&mut self) -> Option<String> {
+        let label = self.metrics_label.take()?;
+        self.snapshot_metrics();
+        let rec = past_obs::uninstall()?;
+        let json = rec.report_json(&label, self.cfg.seed);
+        let _ = crate::report::write_metrics_file(&label, &json);
+        Some(json)
     }
 
     /// The simulator (for custom fault plans and inspection).

@@ -17,9 +17,11 @@
 mod churn;
 mod config;
 mod metrics;
+mod report;
 mod runner;
 
 pub use churn::{ChurnConfig, ChurnRunner, InvariantReport, UnderReplicated, CLIENT};
 pub use config::{ExperimentConfig, TopologyKind};
 pub use metrics::{ExperimentResult, InsertRecord, LookupRecord};
+pub use report::write_metrics_file;
 pub use runner::{run_experiment, Runner};

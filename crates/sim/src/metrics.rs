@@ -62,6 +62,10 @@ pub struct ExperimentResult {
     pub stored_bytes: u64,
     /// Wall-clock seconds the run took (for the harness log).
     pub wall_seconds: f64,
+    /// The `past-obs` metrics report (present when the run was built
+    /// with [`crate::Runner::with_metrics`]). Deterministic for a
+    /// given seed — byte-identical across same-seed reruns.
+    pub metrics_json: Option<String>,
 }
 
 impl ExperimentResult {

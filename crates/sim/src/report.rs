@@ -1,0 +1,44 @@
+//! Metrics report emission: `results/metrics_<label>.json`.
+
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Writes a metrics report document under `results/`, creating the
+/// directory if needed. The label is sanitized to a filename-safe
+/// subset. Returns the path written.
+pub fn write_metrics_file(label: &str, json: &str) -> std::io::Result<PathBuf> {
+    let safe: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' || c == '.' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    let dir = PathBuf::from("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("metrics_{safe}.json"));
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(json.as_bytes())?;
+    f.write_all(b"\n")?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitizes_label() {
+        let path = write_metrics_file("unit/../test label", "{}").unwrap();
+        assert_eq!(
+            path.file_name().unwrap().to_str().unwrap(),
+            "metrics_unit_.._test_label.json"
+        );
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "{}\n");
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -29,6 +29,8 @@ pub struct Runner {
     result: ExperimentResult,
     /// Progress callback (trace ops completed, total).
     progress: Option<Box<dyn FnMut(usize, usize)>>,
+    /// Metrics recording (label, snapshot interval in trace ops).
+    metrics: Option<(String, usize)>,
 }
 
 impl Runner {
@@ -86,12 +88,24 @@ impl Runner {
                 ..Default::default()
             },
             progress: None,
+            metrics: None,
         }
     }
 
     /// Installs a progress callback invoked every 1000 trace operations.
     pub fn with_progress(mut self, f: impl FnMut(usize, usize) + 'static) -> Self {
         self.progress = Some(Box::new(f));
+        self
+    }
+
+    /// Enables `past-obs` metrics recording over the replay: a registry
+    /// snapshot is taken every `snapshot_every` trace operations (plus a
+    /// final one), and the full report is written to
+    /// `results/metrics_<label>.json` and returned in
+    /// [`ExperimentResult::metrics_json`]. Recording starts at replay
+    /// time, so overlay-construction traffic is excluded.
+    pub fn with_metrics(mut self, label: &str, snapshot_every: usize) -> Self {
+        self.metrics = Some((label.to_string(), snapshot_every.max(1)));
         self
     }
 
@@ -132,6 +146,9 @@ impl Runner {
     /// metrics.
     pub fn run(mut self, trace: &Trace) -> ExperimentResult {
         let started = std::time::Instant::now();
+        if self.metrics.is_some() {
+            past_obs::install(past_obs::Recorder::new());
+        }
         let total_ops = trace.ops.len();
         for (i, op) in trace.ops.iter().enumerate() {
             let addr = self.node_of_client(op.client, trace);
@@ -143,15 +160,38 @@ impl Runner {
                     self.do_lookup(addr, fid);
                 }
             }
+            if let Some((_, every)) = &self.metrics {
+                if (i + 1) % every == 0 {
+                    self.snapshot_metrics();
+                }
+            }
             if i % 1000 == 0 {
                 if let Some(cb) = self.progress.as_mut() {
                     cb(i, total_ops);
                 }
             }
         }
+        if let Some((label, _)) = self.metrics.take() {
+            self.snapshot_metrics();
+            if let Some(rec) = past_obs::uninstall() {
+                let json = rec.report_json(&label, self.cfg.seed);
+                let _ = crate::report::write_metrics_file(&label, &json);
+                self.result.metrics_json = Some(json);
+            }
+        }
         self.result.stored_bytes = self.stored_bytes;
         self.result.wall_seconds = started.elapsed().as_secs_f64();
         self.result
+    }
+
+    /// Records harness-level gauges and appends a registry snapshot
+    /// stamped with the current sim time.
+    fn snapshot_metrics(&mut self) {
+        past_obs::gauge("net.queue_len", self.sim.queue_len() as i64);
+        past_obs::gauge("sim.stored_bytes", self.stored_bytes as i64);
+        past_obs::gauge("sim.replicas_now", self.replicas_now as i64);
+        let at = self.sim.now().micros();
+        past_obs::with_recorder(|r| r.take_snapshot(at));
     }
 
     fn do_insert(&mut self, addr: Addr, file_index: u32, name: &str, size: u64) {

@@ -1,0 +1,94 @@
+//! Determinism regression for the observability layer: the metrics
+//! report a run emits must be a pure function of the seed. Two runs of
+//! the same configuration must produce byte-identical JSON (the file on
+//! disk included); changing the seed must change the recorded behaviour.
+
+use past_net::SimDuration;
+use past_sim::{ChurnConfig, ChurnRunner, ExperimentConfig, Runner};
+use past_workload::WebTraceConfig;
+
+fn run_small_experiment(seed: u64, label: &str) -> String {
+    let trace = WebTraceConfig::default().with_unique_files(500).generate();
+    let cfg = ExperimentConfig {
+        nodes: 25,
+        leaf_set_size: 16,
+        seed,
+        ..Default::default()
+    };
+    let result = Runner::build(cfg, &trace)
+        .with_metrics(label, 100)
+        .run(&trace);
+    result.metrics_json.expect("with_metrics was enabled")
+}
+
+/// Removes the `"seed":N` field so cross-seed comparisons check the
+/// recorded behaviour, not the trivially-different run identity.
+fn without_seed_field(json: &str, seed: u64) -> String {
+    let needle = format!("\"seed\":{seed},");
+    assert!(json.contains(&needle), "report must carry its seed");
+    json.replacen(&needle, "", 1)
+}
+
+#[test]
+fn experiment_metrics_byte_identical_for_same_seed() {
+    let a = run_small_experiment(2001, "det_same");
+    let b = run_small_experiment(2001, "det_same");
+    assert_eq!(a, b, "same seed must reproduce the metrics byte-for-byte");
+
+    // The emitted file is the same document plus a trailing newline.
+    let on_disk = std::fs::read_to_string("results/metrics_det_same.json")
+        .expect("runner wrote results/metrics_det_same.json");
+    assert_eq!(on_disk, format!("{a}\n"));
+    let _ = std::fs::remove_file("results/metrics_det_same.json");
+}
+
+#[test]
+fn experiment_metrics_differ_across_seeds() {
+    let a = run_small_experiment(2001, "det_seed");
+    let b = run_small_experiment(2002, "det_seed");
+    assert_ne!(
+        without_seed_field(&a, 2001),
+        without_seed_field(&b, 2002),
+        "different seeds must change the recorded behaviour, not just the seed field"
+    );
+    let _ = std::fs::remove_file("results/metrics_det_seed.json");
+}
+
+fn run_churn_scenario(seed: u64, label: &str) -> String {
+    let cfg = ChurnConfig {
+        nodes: 20,
+        files: 5,
+        seed,
+        ..Default::default()
+    };
+    let mut r = ChurnRunner::build(cfg);
+    r.enable_metrics(label);
+    let inserted = r.insert_files();
+    assert!(inserted > 0, "no insert succeeded");
+    let plan = r.poisson_plan(
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(30),
+    );
+    r.run_with_faults(plan, SimDuration::from_secs(10));
+    r.lookup_round(5, SimDuration::from_secs(2));
+    r.snapshot_metrics();
+    r.heal(SimDuration::from_secs(10));
+    r.finish_metrics().expect("metrics were enabled")
+}
+
+#[test]
+fn churn_metrics_byte_identical_for_same_seed() {
+    let a = run_churn_scenario(11, "det_churn");
+    let b = run_churn_scenario(11, "det_churn");
+    assert_eq!(
+        a, b,
+        "same-seed churn runs must reproduce the metrics byte-for-byte"
+    );
+    assert_ne!(
+        without_seed_field(&a, 11),
+        without_seed_field(&run_churn_scenario(12, "det_churn"), 12),
+        "churn metrics must be seed-sensitive"
+    );
+    let _ = std::fs::remove_file("results/metrics_det_churn.json");
+}

@@ -153,13 +153,35 @@ impl Cache {
         match self.entries.get(&id).copied() {
             Some(size) => {
                 self.hits += 1;
+                past_obs::counter(self.metric_name("hit"), 1);
                 self.touch(id, size);
                 Some(size)
             }
             None => {
                 self.misses += 1;
+                past_obs::counter(self.metric_name("miss"), 1);
                 None
             }
+        }
+    }
+
+    /// The `past-obs` counter name for one cache event (`hit`, `miss`,
+    /// `insert`, `evict`) under this policy.
+    fn metric_name(&self, event: &str) -> &'static str {
+        match (self.kind, event) {
+            (CachePolicyKind::GreedyDualSize, "hit") => "store.cache.hit.gds",
+            (CachePolicyKind::GreedyDualSize, "miss") => "store.cache.miss.gds",
+            (CachePolicyKind::GreedyDualSize, "insert") => "store.cache.insert.gds",
+            (CachePolicyKind::GreedyDualSize, "evict") => "store.cache.evict.gds",
+            (CachePolicyKind::Lru, "hit") => "store.cache.hit.lru",
+            (CachePolicyKind::Lru, "miss") => "store.cache.miss.lru",
+            (CachePolicyKind::Lru, "insert") => "store.cache.insert.lru",
+            (CachePolicyKind::Lru, "evict") => "store.cache.evict.lru",
+            (CachePolicyKind::None, "hit") => "store.cache.hit.none",
+            (CachePolicyKind::None, "miss") => "store.cache.miss.none",
+            (CachePolicyKind::None, "insert") => "store.cache.insert.none",
+            (CachePolicyKind::None, "evict") => "store.cache.evict.none",
+            _ => "store.cache.other",
         }
     }
 
@@ -223,6 +245,7 @@ impl Cache {
         self.entries.insert(id, size);
         self.used += size;
         self.insertions += 1;
+        past_obs::counter(self.metric_name("insert"), 1);
         self.touch(id, size);
         evicted
     }
@@ -297,6 +320,7 @@ impl Cache {
             .expect("policy and entries in sync");
         self.used -= size;
         self.evictions += 1;
+        past_obs::counter(self.metric_name("evict"), 1);
         Some(victim)
     }
 }

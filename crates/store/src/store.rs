@@ -259,6 +259,7 @@ impl<H: Copy> NodeStore<H> {
         };
         if !ok {
             self.rejected_inserts += 1;
+            past_obs::counter("store.replica.reject", 1);
             return Err(StoreError::OverThreshold {
                 size,
                 free: self.free(),
@@ -279,8 +280,10 @@ impl<H: Copy> NodeStore<H> {
             diverted_from: from,
         };
         if primary {
+            past_obs::counter("store.replica.primary", 1);
             self.primaries.insert(id, replica);
         } else {
+            past_obs::counter("store.replica.diverted", 1);
             self.diverted.insert(id, replica);
         }
         Ok(())

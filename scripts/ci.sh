@@ -12,6 +12,16 @@ cd "$(dirname "$0")/.."
 echo "== cargo build --release"
 cargo build --release --workspace --offline
 
+echo "== zero-test guard"
+# Every workspace crate must ship at least one test: a crate that
+# silently drops to zero tests would pass `cargo test` forever.
+for crate in crates/*/; do
+  if ! grep -rq '#\[test\]' "${crate}src" "${crate}tests" 2>/dev/null; then
+    echo "error: ${crate%/} has no tests (add at least one #[test])" >&2
+    exit 1
+  fi
+done
+
 echo "== cargo test"
 # The root package is a facade; --workspace covers every crate.
 cargo test -q --workspace --no-fail-fast --offline

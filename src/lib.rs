@@ -16,6 +16,7 @@
 //! - [`workload`] — synthetic traces calibrated to the paper's.
 //! - [`sim`] — the experiment harness behind every table and figure.
 //! - [`erasure`] — Reed–Solomon coding (the paper's §3.6 extension).
+//! - [`obs`] — metrics registry, operation spans, JSON emission.
 //!
 //! See the repository `README.md` for a tour and `DESIGN.md` for the
 //! paper-to-code map.
@@ -25,6 +26,7 @@ pub use past_crypto as crypto;
 pub use past_erasure as erasure;
 pub use past_id as id;
 pub use past_net as net;
+pub use past_obs as obs;
 pub use past_pastry as pastry;
 pub use past_sim as sim;
 pub use past_store as store;

@@ -1,0 +1,43 @@
+//! Guard against the workspace's `cargo test -q` footgun.
+//!
+//! The root `Cargo.toml` carries both a `[workspace]` table and a
+//! `[package]` (the `past` facade), so a bare `cargo test` at the
+//! repository root builds **only the facade and these root tests** —
+//! none of the per-crate suites under `crates/`. This test makes the
+//! narrow run say so out loud, and pins the existence of the real gate
+//! it points to (`scripts/ci.sh` runs the whole workspace offline and
+//! refuses crates with zero tests).
+
+use std::io::Write as _;
+use std::path::Path;
+
+#[test]
+fn bare_cargo_test_points_at_the_full_gate() {
+    // stderr bypasses libtest's output capture, so the pointer is
+    // visible even under `cargo test -q`.
+    let mut err = std::io::stderr().lock();
+    let _ = writeln!(
+        err,
+        "note: `cargo test` at the repo root covers only the `past` facade; \
+         run `scripts/ci.sh` (or `cargo test --workspace --offline`) for the full suite"
+    );
+
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let ci = root.join("scripts/ci.sh");
+    assert!(ci.is_file(), "scripts/ci.sh is the advertised gate");
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::PermissionsExt;
+        let mode = ci.metadata().expect("stat scripts/ci.sh").permissions().mode();
+        assert!(mode & 0o111 != 0, "scripts/ci.sh must be executable");
+    }
+    let body = std::fs::read_to_string(&ci).expect("read scripts/ci.sh");
+    assert!(
+        body.contains("--workspace"),
+        "ci.sh must run the whole workspace, not the facade"
+    );
+    assert!(
+        body.contains("zero-test"),
+        "ci.sh must keep the zero-test guard this suite relies on"
+    );
+}
