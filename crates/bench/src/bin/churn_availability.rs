@@ -15,7 +15,7 @@ use std::io::Write as _;
 use past_net::{FaultPlan, SimDuration};
 use past_sim::{ChurnConfig, ChurnRunner};
 
-use past_bench::{print_table, write_csv};
+use past_bench::{artifact_path, print_table, write_csv};
 
 struct Cell {
     mtbf_s: u64,
@@ -194,7 +194,8 @@ fn main() {
         ));
     }
     json.push_str("  ]\n}\n");
-    let mut f = std::fs::File::create("BENCH_churn.json").expect("create BENCH_churn.json");
+    let path = artifact_path("BENCH_churn.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_churn.json");
     f.write_all(json.as_bytes()).expect("write BENCH_churn.json");
-    eprintln!("wrote BENCH_churn.json");
+    eprintln!("wrote {}", path.display());
 }

@@ -1,0 +1,306 @@
+//! Perf-trajectory suite: fixed-seed insert/lookup/churn workloads at
+//! two scales, self-reporting wall time, peak RSS (from
+//! `/proc/self/status` — `/usr/bin/time` is absent on this box),
+//! simulator events/sec, and protocol totals. Writes `BENCH_perf.json`
+//! (honours `PAST_OUT_DIR`).
+//!
+//! If `results/perf_baseline.json` exists (a committed run from before
+//! the hot-path optimizations), its content is embedded under
+//! `"baseline"` and a per-workload `speedup_vs_baseline` is computed,
+//! so one artifact carries the before/after comparison.
+//!
+//! Env knobs:
+//! - `PAST_NODES`/`PAST_FILES`: replace the two built-in scales
+//!   (small = 60/5000, large = 450/90000) with one custom scale
+//!   labelled `env` (used by the CI perf smoke).
+//! - `PAST_OUT_DIR`: redirect `BENCH_perf.json` and the CSV.
+//!
+//! Workloads run small before large so the process-wide `VmHWM`
+//! high-water mark read after each workload is attributable to the
+//! largest workload run so far.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use past_bench::{artifact_path, base_config, print_table, web_trace, write_csv, Scale};
+use past_net::{FaultPlan, SimDuration};
+use past_sim::{ChurnConfig, ChurnRunner, Runner};
+use past_store::CachePolicyKind;
+
+/// Reads a `VmRSS:`-style line (kB) from `/proc/self/status`.
+fn proc_status_kb(key: &str) -> u64 {
+    let Ok(body) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in body.lines() {
+        if let Some(rest) = line.strip_prefix(key) {
+            let rest = rest.trim_start_matches(':').trim();
+            if let Some(num) = rest.split_whitespace().next() {
+                return num.parse().unwrap_or(0);
+            }
+        }
+    }
+    0
+}
+
+struct Measured {
+    name: &'static str,
+    scale_label: &'static str,
+    nodes: usize,
+    files: usize,
+    seed: u64,
+    build_seconds: f64,
+    wall_seconds: f64,
+    events: u64,
+    delivered: u64,
+    inserts_ok: u64,
+    inserts_failed: u64,
+    lookups: u64,
+    lookups_ok: u64,
+    rss_kb: u64,
+    peak_rss_kb: u64,
+}
+
+impl Measured {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.events as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Insert-heavy (storage experiment) or lookup-heavy (caching
+/// experiment) trace replay against a freshly built overlay.
+fn run_trace_workload(
+    name: &'static str,
+    scale_label: &'static str,
+    scale: Scale,
+    replay_lookups: bool,
+    seed: u64,
+) -> Measured {
+    eprintln!("[perf_suite] {name} @ {scale_label} ({} nodes, {} files) ...", scale.nodes, scale.files);
+    let trace = web_trace(scale);
+    let mut cfg = base_config(scale);
+    cfg.replay_lookups = replay_lookups;
+    if replay_lookups {
+        // Exercise the caching hot path (pass-through cache_file).
+        cfg.cache_policy = CachePolicyKind::GreedyDualSize;
+    }
+    cfg.seed = seed;
+    let t0 = Instant::now();
+    let runner = Runner::build(cfg, &trace);
+    let build_seconds = t0.elapsed().as_secs_f64();
+    let result = runner.run(&trace);
+    let inserts_ok = result.inserts.iter().filter(|i| i.success).count() as u64;
+    let inserts_failed = result.inserts.len() as u64 - inserts_ok;
+    let lookups_ok = result.lookups.iter().filter(|l| l.found).count() as u64;
+    Measured {
+        name,
+        scale_label,
+        nodes: scale.nodes,
+        files: scale.files,
+        seed,
+        build_seconds,
+        wall_seconds: result.wall_seconds,
+        events: result.net.events,
+        delivered: result.net.delivered,
+        inserts_ok,
+        inserts_failed,
+        lookups: result.lookups.len() as u64,
+        lookups_ok,
+        rss_kb: proc_status_kb("VmRSS"),
+        peak_rss_kb: proc_status_kb("VmHWM"),
+    }
+}
+
+/// Churn workload: inserts, 60 s of Poisson churn + 5% loss while
+/// serving lookups, then repair — the maintenance-plane hot path.
+fn run_churn_workload(scale_label: &'static str, scale: Scale, seed: u64) -> Measured {
+    let nodes = (scale.nodes / 8).clamp(20, 60);
+    let files = (scale.files / 100).clamp(8, 60);
+    eprintln!("[perf_suite] churn @ {scale_label} ({nodes} nodes, {files} files) ...");
+    let cfg = ChurnConfig {
+        nodes,
+        files,
+        seed,
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let mut r = ChurnRunner::build(cfg);
+    let build_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let inserted = r.insert_files() as u64;
+    let plan = r.poisson_plan(
+        SimDuration::from_secs(60),
+        SimDuration::from_secs(15),
+        SimDuration::from_secs(60),
+    );
+    r.sim_mut().set_loss_probability(0.05);
+    r.run_with_faults(plan, SimDuration::from_secs(10));
+    r.lookup_round(20, SimDuration::from_secs(2));
+    r.sim_mut().run_for(SimDuration::from_secs(10));
+    r.sim_mut().set_loss_probability(0.0);
+    r.run_with_faults(FaultPlan::new(), SimDuration::ZERO);
+    let _ = r.time_to_full_replication(SimDuration::from_secs(1), SimDuration::from_secs(120));
+    r.heal(SimDuration::from_secs(10));
+    let wall_seconds = t1.elapsed().as_secs_f64();
+
+    let (lookups, lookups_ok) = r.lookup_totals();
+    let net = r.net_stats();
+    Measured {
+        name: "churn",
+        scale_label,
+        nodes,
+        files,
+        seed,
+        build_seconds,
+        wall_seconds,
+        events: net.events,
+        delivered: net.delivered,
+        inserts_ok: inserted,
+        inserts_failed: files as u64 - inserted,
+        lookups: lookups as u64,
+        lookups_ok: lookups_ok as u64,
+        rss_kb: proc_status_kb("VmRSS"),
+        peak_rss_kb: proc_status_kb("VmHWM"),
+    }
+}
+
+/// Finds the workload matching (name, scale) in a previously written
+/// perf report and returns its `wall_seconds`. The format is our own
+/// (see `workload_json`), so a positional scan is reliable.
+fn baseline_wall(baseline: &str, name: &str, scale_label: &str) -> Option<f64> {
+    let needle = format!("{{\"name\": \"{name}\", \"scale\": \"{scale_label}\"");
+    let at = baseline.find(&needle)?;
+    let rest = &baseline[at..];
+    let key = "\"wall_seconds\": ";
+    let rest = &rest[rest.find(key)? + key.len()..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
+    let speedup = baseline
+        .and_then(|b| baseline_wall(b, m.name, m.scale_label))
+        .map(|before| {
+            if m.wall_seconds > 0.0 {
+                format!("{:.2}", before / m.wall_seconds)
+            } else {
+                "null".to_string()
+            }
+        })
+        .unwrap_or_else(|| "null".to_string());
+    format!(
+        "{{\"name\": \"{}\", \"scale\": \"{}\", \"nodes\": {}, \"files\": {}, \
+         \"seed\": {}, \"build_seconds\": {:.3}, \"wall_seconds\": {:.3}, \
+         \"events\": {}, \"delivered\": {}, \"events_per_sec\": {:.0}, \
+         \"inserts_ok\": {}, \"inserts_failed\": {}, \"lookups\": {}, \
+         \"lookups_ok\": {}, \"rss_kb\": {}, \"peak_rss_kb\": {}, \
+         \"speedup_vs_baseline\": {}}}",
+        m.name,
+        m.scale_label,
+        m.nodes,
+        m.files,
+        m.seed,
+        m.build_seconds,
+        m.wall_seconds,
+        m.events,
+        m.delivered,
+        m.events_per_sec(),
+        m.inserts_ok,
+        m.inserts_failed,
+        m.lookups,
+        m.lookups_ok,
+        m.rss_kb,
+        m.peak_rss_kb,
+        speedup,
+    )
+}
+
+fn main() {
+    let env_scale = std::env::var_os("PAST_NODES").is_some()
+        || std::env::var_os("PAST_FILES").is_some();
+    // Small before large: VmHWM is a process-wide high-water mark.
+    let scales: Vec<(&'static str, Scale)> = if env_scale {
+        let mut s = Scale::from_env();
+        // Scale::from_env defaults to full paper scale; when only one
+        // knob is set, keep the other proportionate (830 files/node).
+        if std::env::var_os("PAST_FILES").is_none() {
+            s.files = s.nodes * 830;
+        }
+        if std::env::var_os("PAST_NODES").is_none() {
+            s.nodes = (s.files / 830).max(10);
+        }
+        vec![("env", s)]
+    } else {
+        vec![
+            ("small", Scale { nodes: 60, files: 5_000 }),
+            ("large", Scale { nodes: 450, files: 90_000 }),
+        ]
+    };
+
+    let baseline = std::fs::read_to_string("results/perf_baseline.json").ok();
+    let mut measured: Vec<Measured> = Vec::new();
+    for &(label, scale) in &scales {
+        measured.push(run_trace_workload("insert_heavy", label, scale, false, 2001));
+        measured.push(run_trace_workload("lookup_heavy", label, scale, true, 2002));
+        measured.push(run_churn_workload(label, scale, 42));
+    }
+
+    let header: Vec<String> = [
+        "workload", "scale", "nodes", "files", "wall (s)", "events/s",
+        "inserts ok", "lookups ok", "peak RSS (MB)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let rows: Vec<Vec<String>> = measured
+        .iter()
+        .map(|m| {
+            vec![
+                m.name.to_string(),
+                m.scale_label.to_string(),
+                m.nodes.to_string(),
+                m.files.to_string(),
+                format!("{:.2}", m.wall_seconds),
+                format!("{:.0}", m.events_per_sec()),
+                m.inserts_ok.to_string(),
+                format!("{}/{}", m.lookups_ok, m.lookups),
+                format!("{:.1}", m.peak_rss_kb as f64 / 1024.0),
+            ]
+        })
+        .collect();
+    print_table("perf_suite", &header, &rows);
+    write_csv("perf_suite", &header, &rows);
+
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"perf_suite\",\n  \"schema\": 1,\n");
+    json.push_str("  \"workloads\": [\n");
+    for (i, m) in measured.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&workload_json(m, baseline.as_deref()));
+        json.push_str(if i + 1 == measured.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ],\n");
+    match &baseline {
+        Some(b) => {
+            json.push_str("  \"baseline\": ");
+            // The baseline file is itself a perf_suite report (valid
+            // JSON), so it embeds verbatim as a value.
+            json.push_str(b.trim_end());
+            json.push('\n');
+        }
+        None => json.push_str("  \"baseline\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let path = artifact_path("BENCH_perf.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_perf.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_perf.json");
+    eprintln!("wrote {}", path.display());
+}

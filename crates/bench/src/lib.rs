@@ -113,10 +113,31 @@ pub fn print_table(title: &str, header: &[String], rows: &[Vec<String>]) {
     }
 }
 
-/// Writes rows as CSV under `results/<name>.csv`.
+/// The directory bench outputs land in: `$PAST_OUT_DIR` when set,
+/// otherwise the tracked defaults (`results/` for CSVs, the working
+/// directory for `BENCH_*.json`). Scratch runs at non-default scales
+/// should set `PAST_OUT_DIR` so they don't dirty the tree.
+pub fn out_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("PAST_OUT_DIR").map(std::path::PathBuf::from)
+}
+
+/// Resolves the path for a root-level artifact such as
+/// `BENCH_churn.json`, honouring `PAST_OUT_DIR`.
+pub fn artifact_path(name: &str) -> std::path::PathBuf {
+    match out_dir() {
+        Some(dir) => {
+            let _ = std::fs::create_dir_all(&dir);
+            dir.join(name)
+        }
+        None => std::path::PathBuf::from(name),
+    }
+}
+
+/// Writes rows as CSV under `results/<name>.csv` (or
+/// `$PAST_OUT_DIR/<name>.csv`).
 pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) {
-    let dir = std::path::Path::new("results");
-    let _ = std::fs::create_dir_all(dir);
+    let dir = out_dir().unwrap_or_else(|| std::path::PathBuf::from("results"));
+    let _ = std::fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.csv"));
     let mut out = match std::fs::File::create(&path) {
         Ok(f) => f,

@@ -22,6 +22,15 @@ pub struct PastConfig {
     /// experiments (certificates are still issued and shipped; only the
     /// checks are skipped).
     pub verify_certificates: bool,
+    /// Bound on the per-node signature-verification memo (entries). A
+    /// certificate travels through many verify-and-accept sites (the
+    /// coordinator, every replica holder, diversion targets, reclaim);
+    /// the memo short-circuits re-verification of byte-identical
+    /// `(signing bytes, signature)` pairs that already verified here.
+    /// Zero disables memoization. Irrelevant unless
+    /// `verify_certificates` is set (reclaim certificates are always
+    /// verified and always use the memo).
+    pub verify_memo_capacity: usize,
     /// Client-side per-attempt timeout for insert/lookup/reclaim. Zero
     /// disables timeouts (static experiments never need them and the
     /// event queue drains faster without timer events).
@@ -60,6 +69,7 @@ impl Default for PastConfig {
             cache_policy: CachePolicyKind::GreedyDualSize,
             max_file_diversions: 3,
             verify_certificates: false,
+            verify_memo_capacity: 1024,
             client_timeout: SimDuration::ZERO,
             migration_period: SimDuration::ZERO,
             migration_batch: 4,

@@ -1,7 +1,7 @@
 //! The insert path: coordination, replica storage, replica diversion
 //! (§3.3) and file diversion (§3.4).
 
-use past_crypto::{FileCertificate, StoreReceipt};
+use past_crypto::{SharedFileCert, SharedReceipt, StoreReceipt};
 use past_id::FileId;
 use past_pastry::NodeEntry;
 
@@ -18,12 +18,12 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
-        cert: FileCertificate,
+        cert: SharedFileCert,
     ) {
         let file_id = cert.file_id;
         // Certificate verification by the first storage node ("that node
         // verifies the file certificate ... If everything checks out").
-        if self.cfg.verify_certificates && cert.verify(None).is_err() {
+        if !self.cert_ok(&cert) {
             self.send_to(
                 ctx,
                 req.client,
@@ -109,11 +109,11 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: Option<ReqId>,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         coordinator: Option<NodeEntry>,
     ) {
         let file_id = cert.file_id;
-        if self.cfg.verify_certificates && cert.verify(None).is_err() {
+        if !self.cert_ok(&cert) {
             if let (Some(req), Some(coord)) = (req, coordinator) {
                 self.report_store_result(ctx, req, file_id, None, coord);
             }
@@ -225,16 +225,13 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: Option<ReqId>,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         requester: NodeEntry,
     ) {
         let file_id = cert.file_id;
         let size = cert.file_size;
-        let accepted = if self.cfg.verify_certificates && cert.verify(None).is_err() {
-            false
-        } else {
-            self.store.store_diverted(cert, requester).is_ok()
-        };
+        let accepted =
+            self.cert_ok(&cert) && self.store.store_diverted(cert, requester).is_ok();
         if past_obs::is_enabled() {
             past_obs::counter(
                 if accepted {
@@ -337,7 +334,7 @@ impl PastNode {
         file_id: FileId,
         holder: NodeEntry,
         backup: bool,
-        cert: FileCertificate,
+        cert: SharedFileCert,
     ) {
         if backup {
             self.store.install_backup_pointer(file_id, holder);
@@ -355,8 +352,13 @@ impl PastNode {
         ctx: &mut PCtx<'_, '_>,
         file_id: FileId,
         diverted: bool,
-    ) -> StoreReceipt {
-        StoreReceipt::issue(&self.keys, file_id, diverted, ctx.now().micros(), ctx.rng())
+    ) -> SharedReceipt {
+        SharedReceipt::new(if self.cfg.verify_certificates {
+            StoreReceipt::issue(&self.keys, file_id, diverted, ctx.now().micros(), ctx.rng())
+        } else {
+            // Unread when verification is off; skip the signature hash.
+            StoreReceipt::issue_unsigned(&self.keys, file_id, diverted, ctx.now().micros())
+        })
     }
 
     /// Routes a store outcome to the coordinator (inline when this node
@@ -366,7 +368,7 @@ impl PastNode {
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
         file_id: FileId,
-        receipt: Option<StoreReceipt>,
+        receipt: Option<SharedReceipt>,
         coordinator: NodeEntry,
     ) {
         let own = ctx.own();
@@ -392,7 +394,7 @@ impl PastNode {
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
         file_id: FileId,
-        receipt: Option<StoreReceipt>,
+        receipt: Option<SharedReceipt>,
         storer: NodeEntry,
     ) {
         let coord = match self.coords.get_mut(&req.key()) {
@@ -509,7 +511,7 @@ impl PastNode {
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
         file_id: FileId,
-        receipts: Vec<StoreReceipt>,
+        receipts: Vec<SharedReceipt>,
         expected: u32,
         ok: bool,
     ) {
@@ -543,7 +545,9 @@ impl PastNode {
             return;
         }
         let verified = !self.cfg.verify_certificates
-            || receipts.iter().all(|r| r.verify().is_ok());
+            || receipts
+                .iter()
+                .all(|r| r.verify_memo(&mut self.verify_memo).is_ok());
         if ok && receipts.len() as u32 == expected && verified {
             if past_obs::is_enabled() {
                 past_obs::counter("past.insert.ok", 1);
@@ -571,7 +575,7 @@ impl PastNode {
         name: String,
         size: u64,
         attempts: u32,
-        old_cert: FileCertificate,
+        old_cert: SharedFileCert,
     ) {
         if attempts <= self.cfg.max_file_diversions {
             if past_obs::is_enabled() {
@@ -584,7 +588,7 @@ impl PastNode {
                     (attempts + 1) as i64,
                 );
             }
-            let cert = self.issue_cert(ctx, &name, size, attempts + 1);
+            let cert = SharedFileCert::new(self.issue_cert(ctx, &name, size, attempts + 1));
             self.pending.insert(
                 seq,
                 PendingOp::Insert {

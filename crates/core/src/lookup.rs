@@ -1,7 +1,7 @@
 //! The lookup path: interception at the first node storing the file,
 //! pointer indirection for diverted replicas, and response-path caching.
 
-use past_crypto::FileCertificate;
+use past_crypto::SharedFileCert;
 use past_id::FileId;
 use past_pastry::NodeEntry;
 use past_store::Resolution;
@@ -103,7 +103,7 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         hops: u32,
         kind: HitKind,
         mut reverse_path: Vec<NodeEntry>,
@@ -146,7 +146,7 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         hops: u32,
         kind: HitKind,
         reverse_path: Vec<NodeEntry>,
@@ -164,7 +164,7 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         hops: u32,
         kind: HitKind,
     ) {
@@ -244,7 +244,7 @@ impl PastNode {
     /// cache registry is certificate-less, so cached files are served
     /// from the pointer/backup certificate registries or the replica
     /// store).
-    pub(crate) fn certificate_for(&self, file_id: FileId) -> Option<FileCertificate> {
+    pub(crate) fn certificate_for(&self, file_id: FileId) -> Option<SharedFileCert> {
         if let Some(r) = self.store.replica(file_id) {
             return Some(r.cert.clone());
         }

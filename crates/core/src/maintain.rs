@@ -2,7 +2,7 @@
 //! fail and recover, and gradually migrating files to their responsible
 //! nodes in the background.
 
-use past_crypto::FileCertificate;
+use past_crypto::SharedFileCert;
 use past_id::FileId;
 use past_pastry::NodeEntry;
 
@@ -130,7 +130,7 @@ impl PastNode {
     pub(crate) fn handle_neighbor_added(&mut self, ctx: &mut PCtx<'_, '_>, node: NodeEntry) {
         let own = ctx.own();
         let k = self.cfg.k as usize;
-        let mut displaced: Vec<(FileId, FileCertificate)> = self
+        let mut displaced: Vec<(FileId, SharedFileCert)> = self
             .store
             .primaries()
             .filter_map(|(id, replica)| {
@@ -176,7 +176,7 @@ impl PastNode {
         // (a) Primary replicas: if the failed node was in the replica set
         // and this node is the set's closest member, ship a copy to the
         // node that newly completes the set.
-        let mut to_restore: Vec<(NodeEntry, FileCertificate)> = Vec::new();
+        let mut to_restore: Vec<(NodeEntry, SharedFileCert)> = Vec::new();
         for (id, replica) in self.store.primaries() {
             let key = id.as_key();
             let candidates = ctx.replica_candidates(key, k);
@@ -204,7 +204,7 @@ impl PastNode {
         // lost; re-create it (locally if possible, else divert again). A
         // pointer whose certificate went missing cannot be repaired —
         // skip it with an event rather than panicking on the map lookup.
-        let mut lost: Vec<(FileId, Option<FileCertificate>)> = self
+        let mut lost: Vec<(FileId, Option<SharedFileCert>)> = self
             .store
             .pointers()
             .filter(|(_, holder)| holder.id == failed.id)
@@ -295,7 +295,7 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         from: NodeEntry,
-        cert: FileCertificate,
+        cert: SharedFileCert,
     ) {
         let file_id = cert.file_id;
         if self.store.holds_replica(file_id) {

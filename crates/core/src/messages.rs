@@ -1,6 +1,6 @@
 //! PAST wire messages (carried as the Pastry application payload).
 
-use past_crypto::{FileCertificate, ReclaimCertificate, StoreReceipt};
+use past_crypto::{SharedFileCert, SharedReceipt, SharedReclaimCert};
 use past_id::{FileId, NodeId};
 use past_pastry::NodeEntry;
 
@@ -52,7 +52,7 @@ pub enum MsgKind {
         /// Operation id.
         req: ReqId,
         /// Signed file certificate.
-        cert: FileCertificate,
+        cert: SharedFileCert,
     },
     /// Routed toward the fileId: a lookup request. `path` accumulates the
     /// nodes traversed so the response can retrace it (populating caches).
@@ -69,14 +69,14 @@ pub enum MsgKind {
         /// Operation id.
         req: ReqId,
         /// Signed reclaim certificate.
-        cert: ReclaimCertificate,
+        cert: SharedReclaimCert,
     },
     /// Coordinator → the other k−1 replica holders: store a replica.
     Replicate {
         /// Operation id.
         req: ReqId,
         /// The file certificate.
-        cert: FileCertificate,
+        cert: SharedFileCert,
         /// The coordinating node (receives the result).
         coordinator: NodeEntry,
     },
@@ -89,7 +89,7 @@ pub enum MsgKind {
         /// File concerned.
         file_id: FileId,
         /// Signed store receipt on success.
-        receipt: Option<StoreReceipt>,
+        receipt: Option<SharedReceipt>,
         /// The node reporting.
         storer: NodeEntry,
     },
@@ -98,7 +98,7 @@ pub enum MsgKind {
         /// Insert operation id (`None` during §3.5 maintenance).
         req: Option<ReqId>,
         /// The file certificate.
-        cert: FileCertificate,
+        cert: SharedFileCert,
         /// The diverting node A.
         requester: NodeEntry,
     },
@@ -125,7 +125,7 @@ pub enum MsgKind {
         backup: bool,
         /// Certificate, kept so the pointer owner can re-create the
         /// replica if the holder fails.
-        cert: FileCertificate,
+        cert: SharedFileCert,
     },
     /// Drop a replica/pointer for `file_id` (insert abort or reclaim).
     Discard {
@@ -139,7 +139,7 @@ pub enum MsgKind {
         /// File concerned.
         file_id: FileId,
         /// Store receipts from each replica holder.
-        receipts: Vec<StoreReceipt>,
+        receipts: Vec<SharedReceipt>,
         /// Number of replicas the coordinator aimed for.
         expected: u32,
         /// Overall success.
@@ -151,7 +151,7 @@ pub enum MsgKind {
         /// Operation id.
         req: ReqId,
         /// Certificate (stands in for the file content).
-        cert: FileCertificate,
+        cert: SharedFileCert,
         /// Pastry hops the request took until the hit.
         hops: u32,
         /// What kind of copy answered.
@@ -181,7 +181,7 @@ pub enum MsgKind {
     /// Coordinator → replica holders: execute a verified reclaim.
     ReclaimExec {
         /// The reclaim certificate (re-verified by each holder).
-        cert: ReclaimCertificate,
+        cert: SharedReclaimCert,
     },
     /// Coordinator → client: reclaim outcome (weak semantics — the
     /// coordinator replies once the reclaim is dispatched).
@@ -206,7 +206,7 @@ pub enum MsgKind {
     /// certificate).
     ReplicaTransfer {
         /// The file certificate.
-        cert: FileCertificate,
+        cert: SharedFileCert,
     },
     /// New responsible node → old holder: migration complete, you may
     /// drop your copy if no longer responsible.

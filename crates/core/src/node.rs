@@ -2,10 +2,12 @@
 //! insert/lookup/reclaim operations, storage management (replica and
 //! file diversion) and caching.
 
-use std::collections::HashMap;
 
-use past_crypto::{FileCertificate, KeyPair, QuotaLedger, ReclaimCertificate, StoreReceipt};
-use past_id::{FileId, NodeId};
+use past_crypto::{
+    FileCertificate, KeyPair, QuotaLedger, ReclaimCertificate, SharedFileCert, SharedReceipt,
+    SharedReclaimCert, VerifyMemo,
+};
+use past_id::{FileId, IdHashMap, NodeId};
 use past_pastry::{AppCtx, Application, NodeEntry};
 use past_store::{NodeStore, Resolution};
 
@@ -38,7 +40,7 @@ pub(crate) enum PendingOp {
         /// Attempts made so far (1-based once routed).
         attempts: u32,
         /// Certificate of the current attempt.
-        cert: FileCertificate,
+        cert: SharedFileCert,
     },
     /// A lookup.
     Lookup {
@@ -62,7 +64,7 @@ pub(crate) struct InsertCoord {
     /// The replica set this coordinator selected.
     pub expected: Vec<NodeEntry>,
     /// Receipts collected so far.
-    pub receipts: Vec<StoreReceipt>,
+    pub receipts: Vec<SharedReceipt>,
     /// Nodes that confirmed storage (for discards on abort).
     pub stored: Vec<NodeEntry>,
 }
@@ -73,7 +75,7 @@ pub(crate) struct PendingDiversion {
     /// The insert operation (`None` for §3.5 maintenance re-creation).
     pub req: Option<ReqId>,
     /// The certificate.
-    pub cert: FileCertificate,
+    pub cert: SharedFileCert,
     /// The coordinator expecting this node's ReplicateResult.
     pub coordinator: Option<NodeEntry>,
 }
@@ -114,34 +116,36 @@ pub struct PastNode {
     pub(crate) store: NodeStore<NodeEntry>,
     /// Certificates backing A→B pointers (needed to re-create replicas
     /// when the holder fails).
-    pub(crate) pointer_certs: HashMap<FileId, FileCertificate>,
+    pub(crate) pointer_certs: IdHashMap<FileId, SharedFileCert>,
     /// Where the backup (C) pointer for each of our diversions lives.
-    pub(crate) pointer_backup_at: HashMap<FileId, NodeEntry>,
+    pub(crate) pointer_backup_at: IdHashMap<FileId, NodeEntry>,
     /// Certificates backing backup pointers held at this node (role C).
-    pub(crate) backup_certs: HashMap<FileId, FileCertificate>,
+    pub(crate) backup_certs: IdHashMap<FileId, SharedFileCert>,
     /// Which diverting node (A) installed each backup pointer held
     /// here, so promotion happens only when that node fails.
-    pub(crate) backup_owner: HashMap<FileId, NodeId>,
+    pub(crate) backup_owner: IdHashMap<FileId, NodeId>,
     /// Last known free space of other nodes (piggybacked on messages).
-    pub(crate) free_info: HashMap<NodeId, u64>,
+    pub(crate) free_info: IdHashMap<NodeId, u64>,
     /// Client storage quota.
     pub(crate) quota: QuotaLedger,
     /// Client-side sequence counter.
     pub(crate) next_seq: u64,
     /// Client-side pending operations, by sequence number.
-    pub(crate) pending: HashMap<u64, PendingOp>,
+    pub(crate) pending: IdHashMap<u64, PendingOp>,
     /// Coordinator state for in-flight insert attempts.
-    pub(crate) coords: HashMap<(NodeId, u64), InsertCoord>,
+    pub(crate) coords: IdHashMap<(NodeId, u64), InsertCoord>,
     /// Node-A state for in-flight diversions, keyed by fileId.
-    pub(crate) diversions: HashMap<FileId, PendingDiversion>,
+    pub(crate) diversions: IdHashMap<FileId, PendingDiversion>,
     /// Unacked reliable maintenance messages, by maintenance seq.
-    pub(crate) maint_pending: HashMap<u64, PendingMaint>,
+    pub(crate) maint_pending: IdHashMap<u64, PendingMaint>,
     /// Next maintenance sequence number.
     pub(crate) next_maint_seq: u64,
     /// Reliable-maintenance counters.
     pub(crate) maint_stats: MaintStats,
     /// Resume point of the anti-entropy sweep (last fileId audited).
     pub(crate) anti_entropy_cursor: Option<FileId>,
+    /// Memoized signature verifications (see [`VerifyMemo`]).
+    pub(crate) verify_memo: VerifyMemo,
 }
 
 impl PastNode {
@@ -150,24 +154,26 @@ impl PastNode {
     pub fn new(cfg: PastConfig, keys: KeyPair, capacity: u64, quota: u64) -> Self {
         cfg.validate();
         let store = NodeStore::new(capacity, cfg.policy, cfg.cache_policy);
+        let cap = cfg.verify_memo_capacity;
         PastNode {
             cfg,
             keys,
             store,
-            pointer_certs: HashMap::new(),
-            pointer_backup_at: HashMap::new(),
-            backup_certs: HashMap::new(),
-            backup_owner: HashMap::new(),
-            free_info: HashMap::new(),
+            pointer_certs: IdHashMap::default(),
+            pointer_backup_at: IdHashMap::default(),
+            backup_certs: IdHashMap::default(),
+            backup_owner: IdHashMap::default(),
+            free_info: IdHashMap::default(),
             quota: QuotaLedger::new(quota),
             next_seq: 0,
-            pending: HashMap::new(),
-            coords: HashMap::new(),
-            diversions: HashMap::new(),
-            maint_pending: HashMap::new(),
+            pending: IdHashMap::default(),
+            coords: IdHashMap::default(),
+            diversions: IdHashMap::default(),
+            maint_pending: IdHashMap::default(),
             next_maint_seq: 0,
             maint_stats: MaintStats::default(),
             anti_entropy_cursor: None,
+            verify_memo: VerifyMemo::new(cap),
         }
     }
 
@@ -232,9 +238,29 @@ impl PastNode {
         ctx.send_app(to.addr, m);
     }
 
-    /// Records a peer's advertised free space.
-    pub(crate) fn note_free(&mut self, node: NodeId, free: u64) {
-        self.free_info.insert(node, free);
+    /// Records a peer's advertised free space. Free-space info is only
+    /// ever consulted for current leaf-set members (diversion targeting,
+    /// §3.3), so advertisements from other correspondents — e.g. the
+    /// random clients of routed requests — are dropped rather than
+    /// growing the map to overlay size with entries nothing reads.
+    pub(crate) fn note_free(&mut self, ctx: &PCtx<'_, '_>, node: NodeId, free: u64) {
+        if ctx.pastry().leaf_set().contains(node) {
+            self.free_info.insert(node, free);
+        }
+    }
+
+    /// Storage-node certificate check: passes when verification is
+    /// disabled, otherwise verifies through the node's memo so a
+    /// certificate already verified here skips the signature math.
+    pub(crate) fn cert_ok(&mut self, cert: &FileCertificate) -> bool {
+        !self.cfg.verify_certificates
+            || cert.verify_memo(None, &mut self.verify_memo).is_ok()
+    }
+
+    /// The node's signature-verification memo (hit/miss introspection
+    /// for tests; the counters also flow through `past-obs`).
+    pub fn verify_memo(&self) -> &VerifyMemo {
+        &self.verify_memo
     }
 
     /// Starts a client timeout for `seq` if timeouts are enabled.
@@ -279,7 +305,7 @@ impl PastNode {
             });
             return seq;
         }
-        let cert = self.issue_cert(ctx, name, size, 1);
+        let cert = SharedFileCert::new(self.issue_cert(ctx, name, size, 1));
         self.pending.insert(
             seq,
             PendingOp::Insert {
@@ -400,12 +426,14 @@ impl PastNode {
             client: ctx.own(),
             seq,
         };
-        let cert = ReclaimCertificate::issue(
+        // Reclaim certificates are always signed: storage nodes verify
+        // them regardless of `verify_certificates` (see `PastConfig`).
+        let cert = SharedReclaimCert::new(ReclaimCertificate::issue(
             &self.keys,
             file_id,
             ctx.now().micros(),
             ctx.rng(),
-        );
+        ));
         self.pending.insert(seq, PendingOp::Reclaim { file_id });
         let m = self.msg(MsgKind::Reclaim { req, cert });
         ctx.route(file_id.as_key(), m);
@@ -423,19 +451,33 @@ impl PastNode {
         attempt: u32,
     ) -> FileCertificate {
         let content_hash = past_crypto::Sha1::digest(name.as_bytes());
-        FileCertificate::issue(
-            &self.keys,
-            name,
-            content_hash,
-            size,
-            self.cfg.k,
-            attempt as u64,
-            ctx.now().micros(),
-            ctx.rng(),
-        )
+        if self.cfg.verify_certificates {
+            FileCertificate::issue(
+                &self.keys,
+                name,
+                content_hash,
+                size,
+                self.cfg.k,
+                attempt as u64,
+                ctx.now().micros(),
+                ctx.rng(),
+            )
+        } else {
+            // Signature skipped: unread when verification is off, and
+            // the fileId/signed fields are identical either way.
+            FileCertificate::issue_unsigned(
+                &self.keys,
+                name,
+                content_hash,
+                size,
+                self.cfg.k,
+                attempt as u64,
+                ctx.now().micros(),
+            )
+        }
     }
 
-    pub(crate) fn route_insert(&self, ctx: &mut PCtx<'_, '_>, seq: u64, cert: FileCertificate) {
+    pub(crate) fn route_insert(&self, ctx: &mut PCtx<'_, '_>, seq: u64, cert: SharedFileCert) {
         let req = ReqId {
             client: ctx.own(),
             seq,
@@ -519,15 +561,15 @@ impl Application for PastNode {
     ) {
         match msg.kind {
             MsgKind::Insert { req, cert } => {
-                self.note_free(req.client.id, msg.free);
+                self.note_free(ctx, req.client.id, msg.free);
                 self.coordinate_insert(ctx, req, cert);
             }
             MsgKind::Lookup { req, file_id, path } => {
-                self.note_free(req.client.id, msg.free);
+                self.note_free(ctx, req.client.id, msg.free);
                 self.lookup_at_responsible(ctx, req, file_id, path, hops);
             }
             MsgKind::Reclaim { req, cert } => {
-                self.note_free(req.client.id, msg.free);
+                self.note_free(ctx, req.client.id, msg.free);
                 self.coordinate_reclaim(ctx, req, cert);
             }
             other => {
@@ -560,7 +602,7 @@ impl Application for PastNode {
                 // fileId", that node takes over as coordinator.
                 if ctx.is_among_k_closest(key, self.cfg.k as usize) {
                     let (req, cert) = (*req, cert.clone());
-                    self.note_free(req.client.id, msg.free);
+                    self.note_free(ctx, req.client.id, msg.free);
                     self.coordinate_insert(ctx, req, cert);
                     return false;
                 }
@@ -623,7 +665,7 @@ impl Application for PastNode {
     }
 
     fn on_app_message(&mut self, ctx: &mut PCtx<'_, '_>, from: NodeEntry, msg: PastMsg) {
-        self.note_free(from.id, msg.free);
+        self.note_free(ctx, from.id, msg.free);
         match msg.kind {
             MsgKind::Replicate {
                 req,

@@ -1,7 +1,7 @@
 //! The reclaim path (§2.2): weak-semantics reclamation of a file's
 //! storage, authorized by a signed reclaim certificate.
 
-use past_crypto::ReclaimCertificate;
+use past_crypto::SharedReclaimCert;
 use past_id::FileId;
 use past_store::Resolution;
 
@@ -20,7 +20,7 @@ impl PastNode {
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         req: ReqId,
-        cert: ReclaimCertificate,
+        cert: SharedReclaimCert,
     ) {
         let file_id = cert.file_id;
         // Verify against the locally stored certificate where possible.
@@ -30,7 +30,7 @@ impl PastNode {
             .map(|r| r.cert.clone())
             .or_else(|| self.pointer_certs.get(&file_id).cloned());
         let ok = match &stored_cert {
-            Some(sc) => cert.verify(sc).is_ok(),
+            Some(sc) => cert.verify_memo(sc, &mut self.verify_memo).is_ok(),
             None => false,
         };
         if !ok {
@@ -84,12 +84,12 @@ impl PastNode {
     /// certificate against its own stored copy ("the replica storing
     /// nodes verify that the file's legitimate owner is requesting the
     /// operation").
-    pub(crate) fn on_reclaim_exec(&mut self, ctx: &mut PCtx<'_, '_>, cert: ReclaimCertificate) {
+    pub(crate) fn on_reclaim_exec(&mut self, ctx: &mut PCtx<'_, '_>, cert: SharedReclaimCert) {
         let file_id = cert.file_id;
         match self.store.resolve(file_id) {
             Resolution::Primary | Resolution::DivertedHere => {
                 let stored = self.store.replica(file_id).expect("resolved").cert.clone();
-                if cert.verify(&stored).is_ok() {
+                if cert.verify_memo(&stored, &mut self.verify_memo).is_ok() {
                     let replica = self.store.remove_replica(file_id).expect("resolved");
                     ctx.emit(PastEvent::ReplicaDropped {
                         file_id,
@@ -99,11 +99,13 @@ impl PastNode {
                 }
             }
             Resolution::Pointer(holder) => {
-                let valid = self
-                    .pointer_certs
-                    .get(&file_id)
-                    .map(|sc| cert.verify(sc).is_ok())
-                    .unwrap_or(false);
+                let valid = match self.pointer_certs.get(&file_id) {
+                    Some(sc) => {
+                        let sc = sc.clone();
+                        cert.verify_memo(&sc, &mut self.verify_memo).is_ok()
+                    }
+                    None => false,
+                };
                 if valid {
                     self.store.remove_pointer(file_id);
                     self.pointer_certs.remove(&file_id);

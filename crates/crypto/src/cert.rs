@@ -12,6 +12,7 @@
 
 use past_id::FileId;
 
+use crate::memo::VerifyMemo;
 use crate::sha1::{Digest, Sha1};
 use crate::sign::{KeyPair, PublicKey, Signature};
 
@@ -91,8 +92,30 @@ impl FileCertificate {
         created_at: u64,
         rng: &mut R,
     ) -> Self {
+        let mut cert =
+            Self::issue_unsigned(owner, name, content_hash, file_size, replicas, salt, created_at);
+        cert.signature = owner.sign(&cert.signing_bytes(), rng);
+        cert
+    }
+
+    /// Issues a certificate with an all-zero signature, skipping the
+    /// signature hash. For simulation runs that disable certificate
+    /// verification: the fileId and every signed field are identical to
+    /// [`FileCertificate::issue`]'s output, nothing there reads the
+    /// signature bytes, and [`FileCertificate::verify`] rejects the
+    /// certificate should verification ever be turned on (fail closed).
+    #[allow(clippy::too_many_arguments)]
+    pub fn issue_unsigned(
+        owner: &KeyPair,
+        name: &str,
+        content_hash: Digest,
+        file_size: u64,
+        replicas: u32,
+        salt: u64,
+        created_at: u64,
+    ) -> Self {
         let file_id = compute_file_id(name, &owner.public(), salt);
-        let mut cert = FileCertificate {
+        FileCertificate {
             file_id,
             content_hash,
             file_size,
@@ -101,9 +124,7 @@ impl FileCertificate {
             created_at,
             owner: owner.public(),
             signature: Signature::Keyed(Digest([0u8; 20])),
-        };
-        cert.signature = owner.sign(&cert.signing_bytes(), rng);
-        cert
+        }
     }
 
     /// Serializes the signed fields.
@@ -128,6 +149,32 @@ impl FileCertificate {
             return Err(CertError::ZeroReplication);
         }
         if !self.owner.verify(&self.signing_bytes(), &self.signature) {
+            return Err(CertError::BadSignature);
+        }
+        if let Some(h) = received_content_hash {
+            if h != self.content_hash {
+                return Err(CertError::ContentMismatch);
+            }
+        }
+        Ok(())
+    }
+
+    /// [`verify`](Self::verify) with memoized signature checking: the
+    /// signature predicate is skipped when `memo` has already seen this
+    /// exact `(signing bytes, signature)` pair verify. The
+    /// zero-replication and content-hash checks are relational (they
+    /// depend on state outside the certificate) and always run.
+    pub fn verify_memo(
+        &self,
+        received_content_hash: Option<Digest>,
+        memo: &mut VerifyMemo,
+    ) -> Result<(), CertError> {
+        if self.replicas == 0 {
+            return Err(CertError::ZeroReplication);
+        }
+        let bytes = self.signing_bytes();
+        let key = VerifyMemo::key(&bytes, &self.signature);
+        if !memo.check(key, || self.owner.verify(&bytes, &self.signature)) {
             return Err(CertError::BadSignature);
         }
         if let Some(h) = received_content_hash {
@@ -171,14 +218,20 @@ impl ReclaimCertificate {
         issued_at: u64,
         rng: &mut R,
     ) -> Self {
-        let mut cert = ReclaimCertificate {
+        let mut cert = Self::issue_unsigned(owner, file_id, issued_at);
+        cert.signature = owner.sign(&cert.signing_bytes(), rng);
+        cert
+    }
+
+    /// All-zero-signature variant for runs with verification disabled;
+    /// see [`FileCertificate::issue_unsigned`].
+    pub fn issue_unsigned(owner: &KeyPair, file_id: FileId, issued_at: u64) -> Self {
+        ReclaimCertificate {
             file_id,
             issued_at,
             owner: owner.public(),
             signature: Signature::Keyed(Digest([0u8; 20])),
-        };
-        cert.signature = owner.sign(&cert.signing_bytes(), rng);
-        cert
+        }
     }
 
     fn signing_bytes(&self) -> Vec<u8> {
@@ -200,6 +253,28 @@ impl ReclaimCertificate {
             return Err(CertError::BadSignature);
         }
         Ok(())
+    }
+
+    /// [`verify`](Self::verify) with memoized signature checking. The
+    /// owner-equality check binds this certificate to the *stored* file
+    /// certificate, so it is re-evaluated on every call; only the
+    /// signature predicate — a pure function of this certificate — is
+    /// memoized.
+    pub fn verify_memo(
+        &self,
+        stored: &FileCertificate,
+        memo: &mut VerifyMemo,
+    ) -> Result<(), CertError> {
+        if self.owner != stored.owner {
+            return Err(CertError::BadSignature);
+        }
+        let bytes = self.signing_bytes();
+        let key = VerifyMemo::key(&bytes, &self.signature);
+        if memo.check(key, || self.owner.verify(&bytes, &self.signature)) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature)
+        }
     }
 }
 
@@ -228,15 +303,21 @@ impl StoreReceipt {
         issued_at: u64,
         rng: &mut R,
     ) -> Self {
-        let mut receipt = StoreReceipt {
+        let mut receipt = Self::issue_unsigned(storer, file_id, diverted, issued_at);
+        receipt.signature = storer.sign(&receipt.signing_bytes(), rng);
+        receipt
+    }
+
+    /// All-zero-signature variant for runs with verification disabled;
+    /// see [`FileCertificate::issue_unsigned`].
+    pub fn issue_unsigned(storer: &KeyPair, file_id: FileId, diverted: bool, issued_at: u64) -> Self {
+        StoreReceipt {
             file_id,
             storer: storer.public(),
             diverted,
             issued_at,
             signature: Signature::Keyed(Digest([0u8; 20])),
-        };
-        receipt.signature = storer.sign(&receipt.signing_bytes(), rng);
-        receipt
+        }
     }
 
     fn signing_bytes(&self) -> Vec<u8> {
@@ -252,6 +333,17 @@ impl StoreReceipt {
     /// Verifies the receipt's signature.
     pub fn verify(&self) -> Result<(), CertError> {
         if self.storer.verify(&self.signing_bytes(), &self.signature) {
+            Ok(())
+        } else {
+            Err(CertError::BadSignature)
+        }
+    }
+
+    /// [`verify`](Self::verify) with memoized signature checking.
+    pub fn verify_memo(&self, memo: &mut VerifyMemo) -> Result<(), CertError> {
+        let bytes = self.signing_bytes();
+        let key = VerifyMemo::key(&bytes, &self.signature);
+        if memo.check(key, || self.storer.verify(&bytes, &self.signature)) {
             Ok(())
         } else {
             Err(CertError::BadSignature)
@@ -279,6 +371,26 @@ mod tests {
         assert!(cert.verify(Some(content)).is_ok());
         assert!(cert.verify(None).is_ok());
         assert!(cert.verify_file_id("report.pdf").is_ok());
+    }
+
+    #[test]
+    fn unsigned_issue_matches_signed_fields_and_fails_closed() {
+        let (mut rng, owner) = setup();
+        let content = Sha1::digest(b"file body");
+        let signed =
+            FileCertificate::issue(&owner, "report.pdf", content, 4096, 5, 1, 100, &mut rng);
+        let unsigned = FileCertificate::issue_unsigned(&owner, "report.pdf", content, 4096, 5, 1, 100);
+        // Every signed field — including the derived fileId — is
+        // identical; only the signature differs.
+        assert_eq!(unsigned.file_id, signed.file_id);
+        assert_eq!(unsigned.signing_bytes(), signed.signing_bytes());
+        // And an unsigned certificate never passes verification.
+        assert!(unsigned.verify(Some(content)).is_err());
+
+        let r_unsigned = StoreReceipt::issue_unsigned(&owner, signed.file_id, true, 100);
+        let r_signed = StoreReceipt::issue(&owner, signed.file_id, true, 100, &mut rng);
+        assert_eq!(r_unsigned.signing_bytes(), r_signed.signing_bytes());
+        assert!(r_unsigned.verify().is_err());
     }
 
     #[test]

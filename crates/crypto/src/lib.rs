@@ -17,6 +17,7 @@
 //! - [`quota`]: the quota ledger that keeps storage demand below supply.
 
 pub mod cert;
+pub mod memo;
 pub mod quota;
 mod sha1;
 pub mod sign;
@@ -24,8 +25,20 @@ pub mod smartcard;
 mod u256;
 
 pub use cert::{compute_file_id, CertError, FileCertificate, ReclaimCertificate, StoreReceipt};
+pub use memo::VerifyMemo;
 pub use quota::{QuotaError, QuotaLedger};
 pub use sha1::{Digest, Sha1};
 pub use sign::{KeyPair, PublicKey, Scheme, Signature};
 pub use smartcard::{derive_node_id, CardIssuer, NodeIdCertificate, Smartcard};
 pub use u256::U256;
+
+/// A file certificate shared by reference count. Certificates are
+/// immutable once issued, so messages, stores and pointer tables pass
+/// them as `Arc`: fanning a replica out to k holders or forwarding a
+/// message along k hops bumps a counter instead of deep-copying the
+/// owner key, signature and hashes at every step.
+pub type SharedFileCert = std::sync::Arc<FileCertificate>;
+/// A reclaim certificate shared by reference count.
+pub type SharedReclaimCert = std::sync::Arc<ReclaimCertificate>;
+/// A store receipt shared by reference count.
+pub type SharedReceipt = std::sync::Arc<StoreReceipt>;

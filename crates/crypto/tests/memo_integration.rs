@@ -1,0 +1,186 @@
+//! Integration tests for signature-verification memoization: soundness
+//! against tampering, residency bounds, observability counters, and
+//! interaction with `Arc`-shared certificates.
+
+use past_crypto::{
+    CertError, FileCertificate, KeyPair, ReclaimCertificate, Scheme, Sha1, SharedFileCert,
+    SharedReclaimCert, StoreReceipt, VerifyMemo,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn issue_cert(owner: &KeyPair, name: &str, rng: &mut StdRng) -> FileCertificate {
+    FileCertificate::issue(owner, name, Sha1::digest(name.as_bytes()), 4096, 5, 0, 0, rng)
+}
+
+/// The core soundness property: a memoized success for one certificate
+/// must not leak to a tampered twin. Every tampered field changes the
+/// memo key (it is recomputed from current field values on every call),
+/// so the twin takes the full verification path and is rejected.
+#[test]
+fn tampered_cert_rejected_even_when_untampered_twin_memoized() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let owner = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let cert = issue_cert(&owner, "twin", &mut rng);
+    let mut memo = VerifyMemo::new(64);
+
+    // Memoize the genuine certificate.
+    assert!(cert.verify_memo(None, &mut memo).is_ok());
+    assert!(cert.verify_memo(None, &mut memo).is_ok());
+    assert_eq!(memo.hits(), 1);
+
+    // Tamper with each signed field in turn; all must be rejected.
+    let mut bigger = cert.clone();
+    bigger.file_size += 1;
+    assert_eq!(
+        bigger.verify_memo(None, &mut memo),
+        Err(CertError::BadSignature)
+    );
+
+    let mut resalted = cert.clone();
+    resalted.salt ^= 1;
+    assert_eq!(
+        resalted.verify_memo(None, &mut memo),
+        Err(CertError::BadSignature)
+    );
+
+    let mut rehashed = cert.clone();
+    rehashed.content_hash = Sha1::digest(b"other content");
+    assert_eq!(
+        rehashed.verify_memo(None, &mut memo),
+        Err(CertError::BadSignature)
+    );
+
+    let mut resigned = cert.clone();
+    resigned.signature = issue_cert(&owner, "other", &mut rng).signature;
+    assert_eq!(
+        resigned.verify_memo(None, &mut memo),
+        Err(CertError::BadSignature)
+    );
+
+    // Failures are never recorded: the genuine cert still hits, the
+    // tampered ones still miss.
+    let hits_before = memo.hits();
+    assert!(cert.verify_memo(None, &mut memo).is_ok());
+    assert_eq!(memo.hits(), hits_before + 1);
+    assert_eq!(
+        bigger.verify_memo(None, &mut memo),
+        Err(CertError::BadSignature)
+    );
+}
+
+/// Relational checks sit outside the memo: a memoized signature never
+/// short-circuits the content-hash comparison.
+#[test]
+fn memoized_signature_does_not_bypass_content_hash_check() {
+    let mut rng = StdRng::seed_from_u64(43);
+    let owner = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let cert = issue_cert(&owner, "file", &mut rng);
+    let mut memo = VerifyMemo::new(64);
+
+    assert!(cert.verify_memo(Some(cert.content_hash), &mut memo).is_ok());
+    // Signature is now memoized; corrupted received bytes must still fail.
+    assert_eq!(
+        cert.verify_memo(Some(Sha1::digest(b"corrupt")), &mut memo),
+        Err(CertError::ContentMismatch)
+    );
+}
+
+/// Residency stays within the configured bound no matter how many
+/// distinct certificates flow through.
+#[test]
+fn memo_residency_is_bounded() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let owner = KeyPair::generate(Scheme::Keyed, &mut rng);
+    let mut memo = VerifyMemo::new(32);
+    for i in 0..500 {
+        let cert = issue_cert(&owner, &format!("f{i}"), &mut rng);
+        assert!(cert.verify_memo(None, &mut memo).is_ok());
+        assert!(memo.len() <= memo.capacity());
+    }
+    assert_eq!(memo.misses(), 500);
+}
+
+/// The `past-obs` hit/miss counters agree with hand-computed totals:
+/// verifying `n` distinct certificates `r` times each through a large
+/// memo costs exactly `n` misses and `n * (r - 1)` hits.
+#[test]
+fn obs_counters_match_hand_computed_counts() {
+    let mut rng = StdRng::seed_from_u64(45);
+    let owner = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let (n, r) = (7usize, 4usize);
+    let certs: Vec<FileCertificate> = (0..n)
+        .map(|i| issue_cert(&owner, &format!("c{i}"), &mut rng))
+        .collect();
+
+    past_obs::install(past_obs::Recorder::new());
+    let mut memo = VerifyMemo::new(1024);
+    for _ in 0..r {
+        for cert in &certs {
+            assert!(cert.verify_memo(None, &mut memo).is_ok());
+        }
+    }
+    let rec = past_obs::uninstall().expect("recorder was installed");
+
+    let expected_misses = n as u64;
+    let expected_hits = (n * (r - 1)) as u64;
+    assert_eq!(memo.misses(), expected_misses);
+    assert_eq!(memo.hits(), expected_hits);
+    assert_eq!(
+        rec.metrics().counter_value("crypto.verify.memo_miss"),
+        expected_misses
+    );
+    assert_eq!(
+        rec.metrics().counter_value("crypto.verify.memo_hit"),
+        expected_hits
+    );
+}
+
+/// A reclaim certificate issued after an insert verifies against the
+/// stored certificate even when that certificate is shared by `Arc`
+/// across message and store (the PR's ownership model), and the
+/// owner-binding check is never memoized away.
+#[test]
+fn reclaim_after_insert_verifies_against_shared_cert() {
+    let mut rng = StdRng::seed_from_u64(46);
+    let owner = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let stored: SharedFileCert = SharedFileCert::new(issue_cert(&owner, "doc", &mut rng));
+    // The store and an in-flight message hold the same allocation.
+    let in_msg = stored.clone();
+    assert!(SharedFileCert::ptr_eq(&stored, &in_msg));
+
+    let mut memo = VerifyMemo::new(64);
+    let reclaim = SharedReclaimCert::new(ReclaimCertificate::issue(
+        &owner,
+        stored.file_id,
+        1,
+        &mut rng,
+    ));
+    // &SharedFileCert derefs to &FileCertificate at the call site.
+    assert!(reclaim.verify_memo(&stored, &mut memo).is_ok());
+    assert!(reclaim.verify_memo(&in_msg, &mut memo).is_ok());
+    assert_eq!(memo.hits(), 1);
+
+    // A different owner's stored cert must still be rejected even
+    // though the reclaim signature itself is memoized.
+    let other = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let foreign = SharedFileCert::new(issue_cert(&other, "doc", &mut rng));
+    assert_eq!(
+        reclaim.verify_memo(&foreign, &mut memo),
+        Err(CertError::BadSignature)
+    );
+}
+
+/// Store receipts share the memo too: k receipts verified by the client
+/// then re-verified on retry cost one signature check each.
+#[test]
+fn receipts_memoize_across_reverification() {
+    let mut rng = StdRng::seed_from_u64(47);
+    let storer = KeyPair::generate(Scheme::Schnorr, &mut rng);
+    let cert = issue_cert(&storer, "r", &mut rng);
+    let receipt = StoreReceipt::issue(&storer, cert.file_id, false, 9, &mut rng);
+    let mut memo = VerifyMemo::new(64);
+    assert!(receipt.verify_memo(&mut memo).is_ok());
+    assert!(receipt.verify_memo(&mut memo).is_ok());
+    assert_eq!((memo.misses(), memo.hits()), (1, 1));
+}

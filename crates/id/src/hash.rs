@@ -1,0 +1,130 @@
+//! Fast deterministic hashing for identifier-keyed collections.
+//!
+//! NodeIds and fileIds are (truncated) SHA-1 outputs, already uniformly
+//! distributed — running them through SipHash buys no collision
+//! resistance and showed up as a double-digit share of replay profiles.
+//! [`IdHasher`] is an FxHash-style word-folding hasher: a few
+//! multiply/rotate instructions per 8-byte word, no per-map random
+//! state. It is deterministic across runs, which this repo can afford
+//! because no simulation output depends on map iteration order (batches
+//! that cross the network are explicitly sorted before sending).
+//!
+//! Not DoS-resistant — for simulation-internal keys only, never for
+//! keys an adversary could choose.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// `HashMap` keyed by identifiers, using [`IdHasher`].
+pub type IdHashMap<K, V> = std::collections::HashMap<K, V, BuildHasherDefault<IdHasher>>;
+/// `HashSet` of identifiers, using [`IdHasher`].
+pub type IdHashSet<T> = std::collections::HashSet<T, BuildHasherDefault<IdHasher>>;
+
+/// FxHash multiplier (64-bit golden-ratio-derived odd constant).
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-folding hasher for identifier keys. See the module docs for
+/// the determinism and threat-model caveats.
+#[derive(Default)]
+pub struct IdHasher(u64);
+
+impl IdHasher {
+    #[inline]
+    fn fold(&mut self, word: u64) {
+        self.0 = (self.0.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for IdHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.fold(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.fold(u64::from_le_bytes(buf));
+            // Zero padding alone would collide [0; 9] with [0; 16];
+            // binding the length keeps raw `write` calls sound.
+            self.fold(bytes.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.fold(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.fold(i as u64);
+        self.fold((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.fold(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+
+    fn hash_of<T: std::hash::Hash>(v: &T) -> u64 {
+        let mut h = IdHasher::default();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_and_discriminating() {
+        let a = NodeId::from_u128(0xdead_beef);
+        assert_eq!(hash_of(&a), hash_of(&a));
+        assert_ne!(hash_of(&a), hash_of(&NodeId::from_u128(0xdead_beee)));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn byte_slices_bind_every_byte_and_length() {
+        let mut h1 = IdHasher::default();
+        h1.write(&[1, 2, 3]);
+        let mut h2 = IdHasher::default();
+        h2.write(&[1, 2, 4]);
+        assert_ne!(h1.finish(), h2.finish());
+
+        let mut h3 = IdHasher::default();
+        h3.write(&[0; 9]);
+        let mut h4 = IdHasher::default();
+        h4.write(&[0; 16]);
+        assert_ne!(h3.finish(), h4.finish());
+    }
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: IdHashMap<NodeId, u32> = IdHashMap::default();
+        for i in 0..1000u32 {
+            m.insert(NodeId::from_u128(i as u128), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(&NodeId::from_u128(123)), Some(&123));
+    }
+}

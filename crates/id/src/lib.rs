@@ -29,10 +29,12 @@
 
 mod digits;
 mod file_id;
+mod hash;
 mod node_id;
 mod ring;
 
 pub use digits::Digits;
 pub use file_id::{FileId, FILE_ID_BYTES};
+pub use hash::{IdHashMap, IdHashSet, IdHasher};
 pub use node_id::{NodeId, NODE_ID_BITS, NODE_ID_BYTES};
 pub use ring::{ccw_distance, cw_distance, ring_distance, RingOrd};

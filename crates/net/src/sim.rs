@@ -170,6 +170,21 @@ pub struct NetStats {
     pub partition_dropped: u64,
     /// Messages whose latency received injected jitter.
     pub jittered: u64,
+    /// High-water mark of the event queue (sizing diagnostics).
+    pub queue_peak: u64,
+}
+
+impl NetStats {
+    /// Events processed per wall-clock second — the simulator's
+    /// throughput figure for perf reporting. Zero when `wall_seconds`
+    /// is not positive.
+    pub fn events_per_sec(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds > 0.0 {
+            self.events as f64 / wall_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// The discrete-event network simulator.
@@ -221,7 +236,7 @@ impl<P: Protocol> Simulator<P> {
     pub fn new(topology: Box<dyn Topology>, seed: u64) -> Self {
         Simulator {
             nodes: Vec::new(),
-            queue: BinaryHeap::new(),
+            queue: BinaryHeap::with_capacity(1024),
             topology,
             time: SimTime::ZERO,
             seq: 0,
@@ -231,9 +246,19 @@ impl<P: Protocol> Simulator<P> {
             fault_schedule: Vec::new(),
             fault_cursor: 0,
             stats: NetStats::default(),
-            upcalls: Vec::new(),
-            scratch: Vec::new(),
+            upcalls: Vec::with_capacity(64),
+            scratch: Vec::with_capacity(64),
         }
+    }
+
+    /// Pre-sizes the event queue and upcall buffer. Large experiments
+    /// keep hundreds of thousands of in-flight events; reserving up
+    /// front avoids the doubling reallocations (and copies of every
+    /// queued message) on the way there.
+    pub fn reserve_capacity(&mut self, events: usize, upcalls: usize) {
+        self.queue.reserve(events.saturating_sub(self.queue.len()));
+        self.upcalls
+            .reserve(upcalls.saturating_sub(self.upcalls.len()));
     }
 
     /// Sets an i.i.d. message-loss probability (0 disables loss).
@@ -375,6 +400,20 @@ impl<P: Protocol> Simulator<P> {
     /// Drains the collected upcalls.
     pub fn drain_upcalls(&mut self) -> Vec<(SimTime, Addr, P::Upcall)> {
         std::mem::take(&mut self.upcalls)
+    }
+
+    /// Drains the collected upcalls into `buf`, retaining the internal
+    /// buffer's capacity. Harnesses that collect after every operation
+    /// should prefer this over [`Self::drain_upcalls`]: neither side
+    /// reallocates once the buffers reach steady-state size.
+    pub fn drain_upcalls_into(&mut self, buf: &mut Vec<(SimTime, Addr, P::Upcall)>) {
+        buf.append(&mut self.upcalls);
+    }
+
+    /// Throws away the collected upcalls without surrendering the
+    /// buffer (for harness phases that only advance the clock).
+    pub fn discard_upcalls(&mut self) {
+        self.upcalls.clear();
     }
 
     /// Processes a single event or scheduled fault. Returns `false`
@@ -584,6 +623,7 @@ impl<P: Protocol> Simulator<P> {
             }
         }
         self.scratch = out;
+        self.stats.queue_peak = self.stats.queue_peak.max(self.queue.len() as u64);
     }
 }
 

@@ -174,15 +174,28 @@ impl LeafSet {
     /// leaf set — PAST's candidate replica holders for a file with this
     /// key. `own_addr` supplies this node's address for the self entry.
     pub fn replica_candidates(&self, key: NodeId, k: usize, own_addr: Addr) -> Vec<NodeEntry> {
-        let mut all: Vec<NodeEntry> = self.members().copied().collect();
-        all.push(NodeEntry::new(self.own, own_addr));
-        all.sort_by(|a, b| {
-            a.id.ring_distance(key)
-                .cmp(&b.id.ring_distance(key))
-                .then(a.id.cmp(&b.id))
-        });
-        all.truncate(k);
-        all
+        // Hot path: runs on every insert attempt at the coordinator.
+        // Distances are computed once per entry (not per comparison),
+        // and only the k survivors are fully sorted — the partition
+        // step is O(n). Result is identical to sorting everything by
+        // (ring distance, id) and truncating.
+        let mut all: Vec<(u128, NodeEntry)> = self
+            .members()
+            .map(|e| (e.id.ring_distance(key), *e))
+            .collect();
+        all.push((self.own.ring_distance(key), NodeEntry::new(self.own, own_addr)));
+        let cmp = |a: &(u128, NodeEntry), b: &(u128, NodeEntry)| {
+            a.0.cmp(&b.0).then(a.1.id.cmp(&b.1.id))
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        if all.len() > k {
+            all.select_nth_unstable_by(k - 1, cmp);
+            all.truncate(k);
+        }
+        all.sort_unstable_by(cmp);
+        all.into_iter().map(|(_, e)| e).collect()
     }
 
     /// Returns `true` if this node is among the `k` numerically closest

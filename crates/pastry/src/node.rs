@@ -2,9 +2,8 @@
 //! detection and repair, and routed message delivery with per-hop
 //! application interception.
 
-use std::collections::HashMap;
 
-use past_id::NodeId;
+use past_id::{IdHashMap, NodeId};
 use past_net::{Addr, Ctx, Protocol, SimTime};
 
 use crate::config::PastryConfig;
@@ -284,8 +283,8 @@ pub struct PastryNode<A: Application> {
     app: A,
     bootstrap: Option<Addr>,
     joined: bool,
-    last_heard: HashMap<NodeId, SimTime>,
-    pending_forwards: HashMap<u64, PendingForward<A::Msg>>,
+    last_heard: IdHashMap<NodeId, SimTime>,
+    pending_forwards: IdHashMap<u64, PendingForward<A::Msg>>,
     next_forward_id: u64,
 }
 
@@ -300,8 +299,8 @@ impl<A: Application> PastryNode<A> {
             app,
             bootstrap,
             joined: false,
-            last_heard: HashMap::new(),
-            pending_forwards: HashMap::new(),
+            last_heard: IdHashMap::default(),
+            pending_forwards: IdHashMap::default(),
             next_forward_id: 0,
         }
     }
@@ -376,14 +375,20 @@ impl<A: Application> PastryNode<A> {
         if entry.id == self.state.own().id {
             return;
         }
-        if update_heard {
-            self.last_heard.insert(entry.id, ctx.now());
-        } else {
-            // Hearsay is not proof of liveness, but it must start the
-            // liveness clock: a default of time zero would let the first
-            // keep-alive sweep declare a freshly learned node failed
-            // without ever probing it.
-            self.last_heard.entry(entry.id).or_insert_with(|| ctx.now());
+        // `last_heard` has exactly two readers — the keep-alive sweep and
+        // the forward-ack check — both disabled in static-overlay replay
+        // configs, so the per-message timestamp write would be pure
+        // overhead there.
+        if self.cfg.keep_alive_period.micros() > 0 || self.cfg.per_hop_acks {
+            if update_heard {
+                self.last_heard.insert(entry.id, ctx.now());
+            } else {
+                // Hearsay is not proof of liveness, but it must start the
+                // liveness clock: a default of time zero would let the first
+                // keep-alive sweep declare a freshly learned node failed
+                // without ever probing it.
+                self.last_heard.entry(entry.id).or_insert_with(|| ctx.now());
+            }
         }
         let proximity = ctx.proximity(entry.addr);
         let change = self.state.on_node_seen(entry, proximity);

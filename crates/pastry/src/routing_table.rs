@@ -21,11 +21,16 @@ pub struct RouteCell {
 }
 
 /// The routing table of one node.
+///
+/// Cells live in one contiguous row-major allocation: `consider` runs on
+/// every received message, and a vec-of-vecs costs an extra pointer chase
+/// (and a cache miss) per access on that path.
 #[derive(Clone, Debug)]
 pub struct RoutingTable {
     own: NodeId,
     b: u32,
-    rows: Vec<Vec<Option<RouteCell>>>,
+    cols: usize,
+    cells: Vec<Option<RouteCell>>,
 }
 
 impl RoutingTable {
@@ -38,7 +43,8 @@ impl RoutingTable {
         RoutingTable {
             own,
             b,
-            rows: vec![vec![None; cols]; row_count],
+            cols,
+            cells: vec![None; row_count * cols],
         }
     }
 
@@ -54,7 +60,7 @@ impl RoutingTable {
 
     /// Number of rows (levels).
     pub fn row_count(&self) -> usize {
-        self.rows.len()
+        self.cells.len() / self.cols
     }
 
     /// Returns the cell that would route toward `key` from this node:
@@ -66,12 +72,13 @@ impl RoutingTable {
         }
         let row = self.own.shared_prefix_digits(key, self.b) as usize;
         let col = key.digit(row as u32, self.b) as usize;
-        Some(&self.rows[row][col])
+        Some(&self.cells[row * self.cols + col])
     }
 
     /// Looks up the entry at (row, col).
     pub fn get(&self, row: usize, col: usize) -> Option<&RouteCell> {
-        self.rows[row][col].as_ref()
+        assert!(col < self.cols, "column {col} out of range");
+        self.cells[row * self.cols + col].as_ref()
     }
 
     /// Considers `candidate` for inclusion. It is placed in the cell
@@ -84,7 +91,7 @@ impl RoutingTable {
         }
         let row = self.own.shared_prefix_digits(candidate.id, self.b) as usize;
         let col = candidate.id.digit(row as u32, self.b) as usize;
-        let cell = &mut self.rows[row][col];
+        let cell = &mut self.cells[row * self.cols + col];
         match cell {
             None => {
                 *cell = Some(RouteCell {
@@ -123,7 +130,7 @@ impl RoutingTable {
         }
         let row = self.own.shared_prefix_digits(id, self.b) as usize;
         let col = id.digit(row as u32, self.b) as usize;
-        let cell = &mut self.rows[row][col];
+        let cell = &mut self.cells[row * self.cols + col];
         if matches!(cell, Some(c) if c.entry.id == id) {
             *cell = None;
             true
@@ -136,12 +143,12 @@ impl RoutingTable {
     /// nodes, which initialize row `i` from the `i`-th node on the join
     /// route.
     pub fn row(&self, n: usize) -> Vec<Option<RouteCell>> {
-        self.rows[n].clone()
+        self.cells[n * self.cols..(n + 1) * self.cols].to_vec()
     }
 
     /// Iterates over all populated entries.
     pub fn entries(&self) -> impl Iterator<Item = &RouteCell> {
-        self.rows.iter().flatten().filter_map(|c| c.as_ref())
+        self.cells.iter().filter_map(|c| c.as_ref())
     }
 
     /// Number of populated cells.
@@ -263,8 +270,8 @@ mod tests {
             for v in ids {
                 rt.consider(entry(v), 1.0);
             }
-            for (r, row) in rt.rows.iter().enumerate() {
-                for (c, cell) in row.iter().enumerate() {
+            for r in 0..rt.row_count() {
+                for (c, cell) in rt.row(r).iter().enumerate() {
                     if let Some(cell) = cell {
                         let shared = rt.own.shared_prefix_digits(cell.entry.id, 4) as usize;
                         prop_assert_eq!(shared, r);

@@ -179,7 +179,7 @@ impl ChurnRunner {
             entries.push(entry);
         }
         sim.run_for(SimDuration::from_secs(10));
-        sim.drain_upcalls();
+        sim.discard_upcalls();
         let workload_rng = StdRng::seed_from_u64(cfg.seed ^ 0x90ad);
         ChurnRunner {
             cfg,
@@ -268,6 +268,7 @@ impl ChurnRunner {
     /// Inserts the configured working set from the client node and
     /// records the successful fileIds. Returns how many succeeded.
     pub fn insert_files(&mut self) -> usize {
+        let mut buf = Vec::new();
         for i in 0..self.cfg.files {
             let name = format!("churn{i}");
             let size = self.cfg.file_size;
@@ -278,7 +279,8 @@ impl ChurnRunner {
                 });
             });
             self.sim.run_for(SimDuration::from_secs(2));
-            for (_, _, ev) in self.sim.drain_upcalls() {
+            self.sim.drain_upcalls_into(&mut buf);
+            for (_, _, ev) in buf.drain(..) {
                 if let PastEvent::InsertDone {
                     file_id,
                     size,
@@ -327,6 +329,7 @@ impl ChurnRunner {
             return 0;
         }
         let mut ok = 0;
+        let mut buf = Vec::new();
         for i in 0..count {
             let (fid, _) = self.files[i % self.files.len()];
             let live: Vec<Addr> = self.sim.live_addrs().collect();
@@ -341,7 +344,8 @@ impl ChurnRunner {
             });
             self.sim.run_for(gap);
             self.lookups_attempted += 1;
-            for (_, _, ev) in self.sim.drain_upcalls() {
+            self.sim.drain_upcalls_into(&mut buf);
+            for (_, _, ev) in buf.drain(..) {
                 if let PastEvent::LookupDone { found: true, .. } = ev {
                     ok += 1;
                     self.lookups_ok += 1;
@@ -362,7 +366,7 @@ impl ChurnRunner {
             }
         }
         self.sim.run_for(settle);
-        self.sim.drain_upcalls();
+        self.sim.discard_upcalls();
     }
 
     /// Runs in `step` increments until the replication invariant holds
@@ -382,7 +386,7 @@ impl ChurnRunner {
                 return None;
             }
             self.sim.run_for(step);
-            self.sim.drain_upcalls();
+            self.sim.discard_upcalls();
         }
     }
 

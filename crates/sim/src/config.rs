@@ -101,6 +101,7 @@ impl ExperimentConfig {
             cache_policy: self.cache_policy,
             max_file_diversions: self.max_file_diversions,
             verify_certificates: false,
+            verify_memo_capacity: 1024,
             client_timeout: SimDuration::ZERO,
             migration_period: SimDuration::ZERO,
             migration_batch: 4,

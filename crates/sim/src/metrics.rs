@@ -66,6 +66,9 @@ pub struct ExperimentResult {
     /// with [`crate::Runner::with_metrics`]). Deterministic for a
     /// given seed — byte-identical across same-seed reruns.
     pub metrics_json: Option<String>,
+    /// Network-level event totals for the whole run (overlay
+    /// construction included), for throughput reporting.
+    pub net: past_net::NetStats,
 }
 
 impl ExperimentResult {

@@ -1,12 +1,10 @@
 //! The experiment runner: builds a PAST overlay and replays a workload
 //! trace against it, collecting the paper's metrics.
 
-use std::collections::HashMap;
-
 use past_core::{PastEvent, PastNode, PastOverlayNode};
 use past_crypto::{KeyPair, Scheme};
-use past_id::FileId;
-use past_net::{Addr, ClusteredTopology, EuclideanTopology, Simulator, Topology};
+use past_id::{FileId, IdHashMap};
+use past_net::{Addr, ClusteredTopology, EuclideanTopology, SimTime, Simulator, Topology};
 use past_pastry::{NodeEntry, PastryNode};
 use past_workload::Trace;
 use rand::rngs::StdRng;
@@ -25,7 +23,10 @@ pub struct Runner {
     replicas_now: u64,
     diverted_now: u64,
     /// fileId assigned to each successfully inserted trace file.
-    file_ids: HashMap<u32, FileId>,
+    file_ids: IdHashMap<u32, FileId>,
+    /// Reused upcall drain buffer (one allocation for the whole replay
+    /// instead of one per trace operation).
+    upcall_buf: Vec<(SimTime, Addr, PastEvent)>,
     result: ExperimentResult,
     /// Progress callback (trace ops completed, total).
     progress: Option<Box<dyn FnMut(usize, usize)>>,
@@ -56,6 +57,11 @@ impl Runner {
             }
         };
         let mut sim: Simulator<PastOverlayNode> = Simulator::new(topo, cfg.seed ^ 0x517);
+        // One insert fans out to ~k replicate/receipt exchanges per hop;
+        // sizing the queue to the overlay keeps the binary heap from
+        // repeatedly doubling (and copying every in-flight message)
+        // while the first operations warm it up.
+        sim.reserve_capacity(cfg.nodes.saturating_mul(8).min(1 << 20), 256);
         let past_cfg = cfg.past_config();
         let pastry_cfg = cfg.pastry_config();
         let mut entries = Vec::with_capacity(cfg.nodes);
@@ -82,7 +88,8 @@ impl Runner {
             stored_bytes: 0,
             replicas_now: 0,
             diverted_now: 0,
-            file_ids: HashMap::new(),
+            file_ids: IdHashMap::default(),
+            upcall_buf: Vec::with_capacity(64),
             result: ExperimentResult {
                 total_capacity,
                 ..Default::default()
@@ -181,6 +188,7 @@ impl Runner {
         }
         self.result.stored_bytes = self.stored_bytes;
         self.result.wall_seconds = started.elapsed().as_secs_f64();
+        self.result.net = self.sim.stats();
         self.result
     }
 
@@ -216,7 +224,10 @@ impl Runner {
     }
 
     fn collect(&mut self, file_index: Option<u32>) {
-        for (_, _, event) in self.sim.drain_upcalls() {
+        let mut buf = std::mem::take(&mut self.upcall_buf);
+        buf.clear();
+        self.sim.drain_upcalls_into(&mut buf);
+        for (_, _, event) in buf.drain(..) {
             match event {
                 PastEvent::ReplicaStored { size, diverted, .. } => {
                     self.stored_bytes += size;
@@ -279,6 +290,7 @@ impl Runner {
                 | PastEvent::MaintExhausted { .. } => {}
             }
         }
+        self.upcall_buf = buf;
     }
 }
 

@@ -1,0 +1,69 @@
+//! Behavioural golden for the Arc-shared-certificate refactor (and any
+//! later hot-path work): sharing certificates must change *zero*
+//! protocol behaviour. The counter values pinned below were captured
+//! from this exact workload before the refactor; any drift means an
+//! optimization changed semantics, not just speed.
+
+use past_sim::{ExperimentConfig, Runner};
+use past_workload::WebTraceConfig;
+
+/// Extracts a counter's value from the *final* registry snapshot of a
+/// metrics report (counters are cumulative, so the last occurrence is
+/// the run total).
+fn final_counter(json: &str, name: &str) -> u64 {
+    let needle = format!("\"{name}\":");
+    let at = json
+        .rfind(&needle)
+        .unwrap_or_else(|| panic!("counter {name} missing from report"));
+    let rest = &json[at + needle.len()..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().expect("counter value parses")
+}
+
+/// The PR 3 determinism harness workload, byte-for-byte: 500-file web
+/// trace over 25 nodes, leaf set 16, seed 2001.
+fn run_golden_workload() -> String {
+    let trace = WebTraceConfig::default().with_unique_files(500).generate();
+    let cfg = ExperimentConfig {
+        nodes: 25,
+        leaf_set_size: 16,
+        seed: 2001,
+        ..Default::default()
+    };
+    let result = Runner::build(cfg, &trace)
+        .with_metrics("golden_arc", 100)
+        .run(&trace);
+    let _ = std::fs::remove_file("results/metrics_golden_arc.json");
+    result.metrics_json.expect("with_metrics was enabled")
+}
+
+#[test]
+fn shared_cert_refactor_preserves_protocol_behaviour() {
+    let json = run_golden_workload();
+    let golden: &[(&str, u64)] = &[
+        ("past.insert.started", 500),
+        ("past.insert.ok", 484),
+        ("past.insert.fail", 16),
+        ("past.insert.re_salt", 59),
+        ("past.divert.requested", 334),
+        ("store.replica.primary", 2461),
+        ("store.replica.diverted", 51),
+        ("store.replica.reject", 611),
+        ("pastry.delivered", 423),
+        ("net.sent", 7023),
+        ("net.delivered", 7023),
+    ];
+    let mut mismatches = String::new();
+    for (name, want) in golden {
+        let got = final_counter(&json, name);
+        if got != *want {
+            mismatches.push_str(&format!("        (\"{name}\", {got}),\n"));
+        }
+    }
+    assert!(
+        mismatches.is_empty(),
+        "golden counters drifted — protocol behaviour changed:\n{mismatches}"
+    );
+}

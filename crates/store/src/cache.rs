@@ -14,7 +14,9 @@
 //! is implemented with the equivalent L-offset trick so that eviction is
 //! O(log n). An LRU policy is provided for the paper's comparison.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
+
+use past_id::IdHashMap;
 
 use past_id::FileId;
 
@@ -54,7 +56,7 @@ enum PolicyState {
         /// Monotonic touch sequence used to break weight ties by recency.
         seq: u64,
         /// Current (weight, touch sequence) per file.
-        weight: HashMap<FileId, (f64, u64)>,
+        weight: IdHashMap<FileId, (f64, u64)>,
         /// Files ordered by weight, then touch recency, then id.
         order: BTreeSet<(Priority, u64, FileId)>,
     },
@@ -62,7 +64,7 @@ enum PolicyState {
         /// Logical clock.
         tick: u64,
         /// Last-use tick per file.
-        last_use: HashMap<FileId, u64>,
+        last_use: IdHashMap<FileId, u64>,
         /// Files ordered by last use.
         order: BTreeSet<(u64, FileId)>,
     },
@@ -79,7 +81,7 @@ enum PolicyState {
 #[derive(Debug)]
 pub struct Cache {
     kind: CachePolicyKind,
-    entries: HashMap<FileId, u64>,
+    entries: IdHashMap<FileId, u64>,
     used: u64,
     policy: PolicyState,
     hits: u64,
@@ -95,19 +97,19 @@ impl Cache {
             CachePolicyKind::GreedyDualSize => PolicyState::Gds {
                 inflation: 0.0,
                 seq: 0,
-                weight: HashMap::new(),
+                weight: IdHashMap::default(),
                 order: BTreeSet::new(),
             },
             CachePolicyKind::Lru => PolicyState::Lru {
                 tick: 0,
-                last_use: HashMap::new(),
+                last_use: IdHashMap::default(),
                 order: BTreeSet::new(),
             },
             CachePolicyKind::None => PolicyState::None,
         };
         Cache {
             kind,
-            entries: HashMap::new(),
+            entries: IdHashMap::default(),
             used: 0,
             policy,
             hits: 0,

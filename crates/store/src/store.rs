@@ -15,9 +15,9 @@
 //! node C with the k+1-th closest nodeId keeps a backup pointer C→B so
 //! that A's failure does not orphan the replica.
 
-use std::collections::HashMap;
 
-use past_crypto::FileCertificate;
+use past_crypto::SharedFileCert;
+use past_id::IdHashMap;
 use past_id::FileId;
 
 use crate::cache::{Cache, CachePolicyKind};
@@ -91,8 +91,9 @@ impl std::error::Error for StoreError {}
 /// A replica held on this node's disk.
 #[derive(Clone, Debug)]
 pub struct StoredReplica<H> {
-    /// The file's certificate (carries size, owner, content hash).
-    pub cert: FileCertificate,
+    /// The file's certificate (carries size, owner, content hash),
+    /// shared by reference count with the message that delivered it.
+    pub cert: SharedFileCert,
     /// For diverted replicas: the node that diverted the file here.
     pub diverted_from: Option<H>,
 }
@@ -128,17 +129,17 @@ pub enum Resolution<H: Copy> {
 pub struct NodeStore<H: Copy> {
     capacity: u64,
     policy: StorePolicy,
-    primaries: HashMap<FileId, StoredReplica<H>>,
-    diverted: HashMap<FileId, StoredReplica<H>>,
+    primaries: IdHashMap<FileId, StoredReplica<H>>,
+    diverted: IdHashMap<FileId, StoredReplica<H>>,
     /// A→B pointers: this node is responsible, B holds the replica.
-    pointers: HashMap<FileId, H>,
+    pointers: IdHashMap<FileId, H>,
     /// C→B backup pointers installed on the k+1-th closest node.
-    backup_pointers: HashMap<FileId, H>,
+    backup_pointers: IdHashMap<FileId, H>,
     replica_used: u64,
     cache: Cache,
     /// Certificates of cached files (pruned in lock-step with the cache),
     /// so a cache hit can serve the file.
-    cache_certs: HashMap<FileId, FileCertificate>,
+    cache_certs: IdHashMap<FileId, SharedFileCert>,
     rejected_inserts: u64,
 }
 
@@ -148,13 +149,13 @@ impl<H: Copy> NodeStore<H> {
         NodeStore {
             capacity,
             policy,
-            primaries: HashMap::new(),
-            diverted: HashMap::new(),
-            pointers: HashMap::new(),
-            backup_pointers: HashMap::new(),
+            primaries: IdHashMap::default(),
+            diverted: IdHashMap::default(),
+            pointers: IdHashMap::default(),
+            backup_pointers: IdHashMap::default(),
             replica_used: 0,
             cache: Cache::new(cache_policy),
-            cache_certs: HashMap::new(),
+            cache_certs: IdHashMap::default(),
             rejected_inserts: 0,
         }
     }
@@ -232,18 +233,18 @@ impl<H: Copy> NodeStore<H> {
     }
 
     /// Stores a primary replica, evicting cached files if needed.
-    pub fn store_primary(&mut self, cert: FileCertificate) -> Result<(), StoreError> {
+    pub fn store_primary(&mut self, cert: SharedFileCert) -> Result<(), StoreError> {
         self.store_replica(cert, None, /* primary */ true)
     }
 
     /// Stores a diverted replica on behalf of `from`.
-    pub fn store_diverted(&mut self, cert: FileCertificate, from: H) -> Result<(), StoreError> {
+    pub fn store_diverted(&mut self, cert: SharedFileCert, from: H) -> Result<(), StoreError> {
         self.store_replica(cert, Some(from), false)
     }
 
     fn store_replica(
         &mut self,
-        cert: FileCertificate,
+        cert: SharedFileCert,
         from: Option<H>,
         primary: bool,
     ) -> Result<(), StoreError> {
@@ -381,7 +382,12 @@ impl<H: Copy> NodeStore<H> {
 
     /// The §4 cache admission + insertion path for a file routed through
     /// this node. Returns `true` if the file was cached.
-    pub fn cache_file(&mut self, cert: &FileCertificate) -> bool {
+    pub fn cache_file(&mut self, cert: &SharedFileCert) -> bool {
+        // With caching disabled nothing below can succeed; skip the
+        // replica probes this would otherwise cost on every forward hop.
+        if self.cache.kind() == CachePolicyKind::None {
+            return false;
+        }
         if self.holds_replica(cert.file_id) {
             return false;
         }
@@ -401,7 +407,7 @@ impl<H: Copy> NodeStore<H> {
     }
 
     /// The certificate of a cached file, if cached.
-    pub fn cached_cert(&self, id: FileId) -> Option<&FileCertificate> {
+    pub fn cached_cert(&self, id: FileId) -> Option<&SharedFileCert> {
         self.cache_certs.get(&id)
     }
 
@@ -423,15 +429,15 @@ fn accepts(size: u64, free: u64, t: f64) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use past_crypto::{KeyPair, Scheme, Sha1};
+    use past_crypto::{FileCertificate, KeyPair, Scheme, Sha1};
     use rand::{rngs::StdRng, SeedableRng};
 
     type Store = NodeStore<u32>;
 
-    fn cert(name: &str, size: u64) -> FileCertificate {
+    fn cert(name: &str, size: u64) -> SharedFileCert {
         let mut rng = StdRng::seed_from_u64(1);
         let owner = KeyPair::generate(Scheme::Keyed, &mut rng);
-        FileCertificate::issue(
+        SharedFileCert::new(FileCertificate::issue(
             &owner,
             name,
             Sha1::digest(name.as_bytes()),
@@ -440,7 +446,7 @@ mod tests {
             0,
             0,
             &mut rng,
-        )
+        ))
     }
 
     fn store(capacity: u64) -> Store {

@@ -29,4 +29,24 @@ cargo test -q --workspace --no-fail-fast --offline
 echo "== cargo clippy -D warnings"
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
+echo "== perf smoke (perf_suite, reduced scale)"
+# End-to-end run of the perf bench at a scale that finishes in seconds;
+# guards the hot path and the hand-rolled JSON writer. Artifacts go to
+# a scratch dir so CI never dirties the working tree.
+perf_out=$(mktemp -d)
+trap 'rm -rf "$perf_out"' EXIT
+PAST_NODES=60 PAST_FILES=5000 PAST_OUT_DIR="$perf_out" \
+  cargo run --release -q -p past-bench --bin perf_suite --offline
+python3 - "$perf_out/BENCH_perf.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+workloads = {(w["name"], w["scale"]) for w in report["workloads"]}
+want = {("insert_heavy", "env"), ("lookup_heavy", "env"), ("churn", "env")}
+missing = want - workloads
+assert not missing, f"perf_suite JSON missing workloads: {missing}"
+for w in report["workloads"]:
+    assert w["wall_seconds"] > 0, f"{w['name']}: non-positive wall time"
+print(f"perf smoke OK: {len(workloads)} workloads, JSON parseable")
+PY
+
 echo "CI OK"
