@@ -53,7 +53,11 @@ fn bench_trace_generation(c: &mut Criterion) {
     let mut g = c.benchmark_group("workload");
     g.sample_size(10);
     g.bench_function("web_trace_50k_files", |b| {
-        b.iter(|| WebTraceConfig::default().with_unique_files(50_000).generate())
+        b.iter(|| {
+            WebTraceConfig::default()
+                .with_unique_files(50_000)
+                .generate()
+        })
     });
     g.finish();
 }

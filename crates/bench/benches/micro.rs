@@ -174,8 +174,7 @@ fn bench_reed_solomon(c: &mut Criterion) {
     g.bench_function("reconstruct_4_losses_64KiB", |b| {
         b.iter_batched(
             || {
-                let mut opt: Vec<Option<Vec<u8>>> =
-                    shards.iter().cloned().map(Some).collect();
+                let mut opt: Vec<Option<Vec<u8>>> = shards.iter().cloned().map(Some).collect();
                 opt[0] = None;
                 opt[3] = None;
                 opt[8] = None;

@@ -68,10 +68,10 @@ fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
         SimDuration::from_secs(15),
         churn_span,
     );
-    r.sim_mut().set_loss_probability(loss);
+    r.set_loss_probability(loss);
     r.run_with_faults(plan, SimDuration::from_secs(10));
     r.lookup_round(20, SimDuration::from_secs(2));
-    r.sim_mut().run_for(SimDuration::from_secs(10));
+    r.run_for(SimDuration::from_secs(10));
     let (lookups, lookups_ok) = r.lookup_totals();
 
     // Faults stop but the currently-dead nodes STAY dead (clearing the
@@ -79,12 +79,10 @@ fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
     // how long maintenance takes to restore min(k, live) copies on the
     // survivors. Healing first would be trivial — recovered nodes bring
     // their replicas back with them.
-    r.sim_mut().set_loss_probability(0.0);
+    r.set_loss_probability(0.0);
     r.run_with_faults(FaultPlan::new(), SimDuration::ZERO);
-    let repaired = r.time_to_full_replication(
-        SimDuration::from_secs(1),
-        SimDuration::from_secs(300),
-    );
+    let repaired =
+        r.time_to_full_replication(SimDuration::from_secs(1), SimDuration::from_secs(300));
     r.heal(SimDuration::from_secs(10));
     if metrics_on {
         r.snapshot_metrics();
@@ -196,6 +194,7 @@ fn main() {
     json.push_str("  ]\n}\n");
     let path = artifact_path("BENCH_churn.json");
     let mut f = std::fs::File::create(&path).expect("create BENCH_churn.json");
-    f.write_all(json.as_bytes()).expect("write BENCH_churn.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_churn.json");
     eprintln!("wrote {}", path.display());
 }

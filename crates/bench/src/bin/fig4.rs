@@ -22,10 +22,16 @@ fn main() {
     eprintln!("fig4 run done in {:.1}s", result.wall_seconds);
     let grid = 50;
     let curve = result.diversion_histogram_curve(grid);
-    let header: Vec<String> = ["utilization", "1 redirect", "2 redirects", "3 redirects", "failure"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "utilization",
+        "1 redirect",
+        "2 redirects",
+        "3 redirects",
+        "failure",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let rows: Vec<Vec<String>> = curve
         .iter()
         .map(|(u, r)| {

@@ -66,7 +66,10 @@ fn main() {
     let summary = vec![
         vec![
             "first failure (any size)".to_string(),
-            format!("{:?}", first_mean_fail.map(|u| format!("{:.1}%", u * 100.0))),
+            format!(
+                "{:?}",
+                first_mean_fail.map(|u| format!("{:.1}%", u * 100.0))
+            ),
         ],
         vec![
             "first failure of file <= mean size".to_string(),
@@ -77,12 +80,12 @@ fn main() {
         ],
         vec![
             "first failure of file < 0.5 MB".to_string(),
-            format!("{:?}", first_small_fail.map(|u| format!("{:.1}%", u * 100.0))),
+            format!(
+                "{:?}",
+                first_small_fail.map(|u| format!("{:.1}%", u * 100.0))
+            ),
         ],
-        vec![
-            "failures total".to_string(),
-            format!("{}", scatter.len()),
-        ],
+        vec!["failures total".to_string(), format!("{}", scatter.len())],
         vec![
             "final utilization".to_string(),
             format!("{:.1}%", result.final_utilization() * 100.0),

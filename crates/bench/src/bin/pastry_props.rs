@@ -39,7 +39,10 @@ fn main() {
         } else {
             Some(Addr(seeder.gen_range(0..i) as u32))
         };
-        sim.add_node(addr, PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap));
+        sim.add_node(
+            addr,
+            PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap),
+        );
         sim.run_until_idle();
         entries.push(entry);
     }
@@ -96,10 +99,7 @@ fn main() {
     let header: Vec<String> = ["metric", "value"].iter().map(|s| s.to_string()).collect();
     let mut rows = vec![
         vec!["nodes".to_string(), format!("{n}")],
-        vec![
-            "ceil(log_16 N) bound".to_string(),
-            format!("{bound:.0}"),
-        ],
+        vec!["ceil(log_16 N) bound".to_string(), format!("{bound:.0}")],
         vec![
             "mean lookup hops".to_string(),
             format!("{:.2}", total_hops as f64 / lookups.max(1) as f64),

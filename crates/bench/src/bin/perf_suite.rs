@@ -9,10 +9,25 @@
 //! `"baseline"` and a per-workload `speedup_vs_baseline` is computed,
 //! so one artifact carries the before/after comparison.
 //!
+//! Beyond the legacy-engine rows, the full suite sweeps the sharded
+//! conservative-lookahead engine over shard counts {1, 2, 4, 8} on an
+//! open-loop (pipelined) insert replay — the injection mode that keeps
+//! enough events in flight for shards to matter. Every row records its
+//! `shards` value (0 = legacy single-threaded engine) and the report
+//! records `host_cpus`, so scaling numbers are honest about the
+//! parallelism the host could physically offer.
+//!
 //! Env knobs:
 //! - `PAST_NODES`/`PAST_FILES`: replace the two built-in scales
 //!   (small = 60/5000, large = 450/90000) with one custom scale
 //!   labelled `env` (used by the CI perf smoke).
+//! - `PAST_SHARDS`: run every workload on the sharded engine with this
+//!   shard count instead of the legacy engine (the CI perf smoke runs
+//!   the suite at 1 and 2 shards and diffs the counters).
+//! - `PAST_XL`: additionally run the 10,000-node / 1,000,000-file
+//!   open-loop insert workload (`xl` scale) on the sharded engine.
+//! - `PAST_SHARD_THREADS`: worker threads for the sharded engine
+//!   (default: available cores − 1, capped at shards − 1).
 //! - `PAST_OUT_DIR`: redirect `BENCH_perf.json` and the CSV.
 //!
 //! Workloads run small before large so the process-wide `VmHWM`
@@ -49,6 +64,8 @@ struct Measured {
     nodes: usize,
     files: usize,
     seed: u64,
+    /// Engine selector: 0 = legacy single-threaded, n ≥ 1 = sharded.
+    shards: usize,
     build_seconds: f64,
     wall_seconds: f64,
     events: u64,
@@ -71,6 +88,11 @@ impl Measured {
     }
 }
 
+/// Inter-op injection gap for the open-loop replay: short enough to
+/// keep tens of inserts in flight, long enough that the run does not
+/// degenerate into one giant event window.
+const PIPELINE_GAP: SimDuration = SimDuration::from_millis(2);
+
 /// Insert-heavy (storage experiment) or lookup-heavy (caching
 /// experiment) trace replay against a freshly built overlay.
 fn run_trace_workload(
@@ -79,8 +101,13 @@ fn run_trace_workload(
     scale: Scale,
     replay_lookups: bool,
     seed: u64,
+    shards: usize,
+    pipelined: bool,
 ) -> Measured {
-    eprintln!("[perf_suite] {name} @ {scale_label} ({} nodes, {} files) ...", scale.nodes, scale.files);
+    eprintln!(
+        "[perf_suite] {name} @ {scale_label} ({} nodes, {} files, {} shards) ...",
+        scale.nodes, scale.files, shards
+    );
     let trace = web_trace(scale);
     let mut cfg = base_config(scale);
     cfg.replay_lookups = replay_lookups;
@@ -89,10 +116,15 @@ fn run_trace_workload(
         cfg.cache_policy = CachePolicyKind::GreedyDualSize;
     }
     cfg.seed = seed;
+    cfg.shards = shards;
     let t0 = Instant::now();
     let runner = Runner::build(cfg, &trace);
     let build_seconds = t0.elapsed().as_secs_f64();
-    let result = runner.run(&trace);
+    let result = if pipelined {
+        runner.run_pipelined(&trace, PIPELINE_GAP)
+    } else {
+        runner.run(&trace)
+    };
     let inserts_ok = result.inserts.iter().filter(|i| i.success).count() as u64;
     let inserts_failed = result.inserts.len() as u64 - inserts_ok;
     let lookups_ok = result.lookups.iter().filter(|l| l.found).count() as u64;
@@ -102,6 +134,7 @@ fn run_trace_workload(
         nodes: scale.nodes,
         files: scale.files,
         seed,
+        shards,
         build_seconds,
         wall_seconds: result.wall_seconds,
         events: result.net.events,
@@ -117,14 +150,22 @@ fn run_trace_workload(
 
 /// Churn workload: inserts, 60 s of Poisson churn + 5% loss while
 /// serving lookups, then repair — the maintenance-plane hot path.
-fn run_churn_workload(scale_label: &'static str, scale: Scale, seed: u64) -> Measured {
+fn run_churn_workload(
+    scale_label: &'static str,
+    scale: Scale,
+    seed: u64,
+    shards: usize,
+) -> Measured {
     let nodes = (scale.nodes / 8).clamp(20, 60);
     let files = (scale.files / 100).clamp(8, 60);
-    eprintln!("[perf_suite] churn @ {scale_label} ({nodes} nodes, {files} files) ...");
+    eprintln!(
+        "[perf_suite] churn @ {scale_label} ({nodes} nodes, {files} files, {shards} shards) ..."
+    );
     let cfg = ChurnConfig {
         nodes,
         files,
         seed,
+        shards,
         ..Default::default()
     };
     let t0 = Instant::now();
@@ -138,11 +179,11 @@ fn run_churn_workload(scale_label: &'static str, scale: Scale, seed: u64) -> Mea
         SimDuration::from_secs(15),
         SimDuration::from_secs(60),
     );
-    r.sim_mut().set_loss_probability(0.05);
+    r.set_loss_probability(0.05);
     r.run_with_faults(plan, SimDuration::from_secs(10));
     r.lookup_round(20, SimDuration::from_secs(2));
-    r.sim_mut().run_for(SimDuration::from_secs(10));
-    r.sim_mut().set_loss_probability(0.0);
+    r.run_for(SimDuration::from_secs(10));
+    r.set_loss_probability(0.0);
     r.run_with_faults(FaultPlan::new(), SimDuration::ZERO);
     let _ = r.time_to_full_replication(SimDuration::from_secs(1), SimDuration::from_secs(120));
     r.heal(SimDuration::from_secs(10));
@@ -156,6 +197,7 @@ fn run_churn_workload(scale_label: &'static str, scale: Scale, seed: u64) -> Mea
         nodes,
         files,
         seed,
+        shards,
         build_seconds,
         wall_seconds,
         events: net.events,
@@ -197,7 +239,7 @@ fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
         .unwrap_or_else(|| "null".to_string());
     format!(
         "{{\"name\": \"{}\", \"scale\": \"{}\", \"nodes\": {}, \"files\": {}, \
-         \"seed\": {}, \"build_seconds\": {:.3}, \"wall_seconds\": {:.3}, \
+         \"seed\": {}, \"shards\": {}, \"build_seconds\": {:.3}, \"wall_seconds\": {:.3}, \
          \"events\": {}, \"delivered\": {}, \"events_per_sec\": {:.0}, \
          \"inserts_ok\": {}, \"inserts_failed\": {}, \"lookups\": {}, \
          \"lookups_ok\": {}, \"rss_kb\": {}, \"peak_rss_kb\": {}, \
@@ -207,6 +249,7 @@ fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
         m.nodes,
         m.files,
         m.seed,
+        m.shards,
         m.build_seconds,
         m.wall_seconds,
         m.events,
@@ -223,8 +266,13 @@ fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
 }
 
 fn main() {
-    let env_scale = std::env::var_os("PAST_NODES").is_some()
-        || std::env::var_os("PAST_FILES").is_some();
+    let env_scale =
+        std::env::var_os("PAST_NODES").is_some() || std::env::var_os("PAST_FILES").is_some();
+    // Engine override for the whole suite (0 = legacy engine).
+    let env_shards: usize = std::env::var("PAST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
     // Small before large: VmHWM is a process-wide high-water mark.
     let scales: Vec<(&'static str, Scale)> = if env_scale {
         let mut s = Scale::from_env();
@@ -239,22 +287,101 @@ fn main() {
         vec![("env", s)]
     } else {
         vec![
-            ("small", Scale { nodes: 60, files: 5_000 }),
-            ("large", Scale { nodes: 450, files: 90_000 }),
+            (
+                "small",
+                Scale {
+                    nodes: 60,
+                    files: 5_000,
+                },
+            ),
+            (
+                "large",
+                Scale {
+                    nodes: 450,
+                    files: 90_000,
+                },
+            ),
         ]
     };
 
     let baseline = std::fs::read_to_string("results/perf_baseline.json").ok();
     let mut measured: Vec<Measured> = Vec::new();
     for &(label, scale) in &scales {
-        measured.push(run_trace_workload("insert_heavy", label, scale, false, 2001));
-        measured.push(run_trace_workload("lookup_heavy", label, scale, true, 2002));
-        measured.push(run_churn_workload(label, scale, 42));
+        measured.push(run_trace_workload(
+            "insert_heavy",
+            label,
+            scale,
+            false,
+            2001,
+            env_shards,
+            false,
+        ));
+        measured.push(run_trace_workload(
+            "lookup_heavy",
+            label,
+            scale,
+            true,
+            2002,
+            env_shards,
+            false,
+        ));
+        measured.push(run_churn_workload(label, scale, 42, env_shards));
+    }
+
+    // Shard-count sweep: the same open-loop insert replay at 1, 2, 4
+    // and 8 shards. The engine's determinism contract makes the rows
+    // directly comparable — same seed, byte-identical counters — so
+    // wall-time differences are pure engine scaling. Skipped under the
+    // CI env scale (the smoke compares two full-suite runs instead).
+    if !env_scale {
+        let sweep_scale = Scale {
+            nodes: 450,
+            files: 90_000,
+        };
+        for shards in [1usize, 2, 4, 8] {
+            measured.push(run_trace_workload(
+                "insert_pipelined",
+                "large",
+                sweep_scale,
+                false,
+                2003,
+                shards,
+                true,
+            ));
+        }
+    }
+
+    // The headline scale: 10,000 nodes replaying a 1,000,000-file
+    // insert workload open-loop on the sharded engine. Opt-in (the
+    // default suite stays minutes-scale) but CI-completable.
+    if std::env::var_os("PAST_XL").is_some() {
+        let xl = Scale {
+            nodes: 10_000,
+            files: 1_000_000,
+        };
+        let shards = if env_shards > 0 { env_shards } else { 8 };
+        measured.push(run_trace_workload(
+            "insert_pipelined",
+            "xl",
+            xl,
+            false,
+            2004,
+            shards,
+            true,
+        ));
     }
 
     let header: Vec<String> = [
-        "workload", "scale", "nodes", "files", "wall (s)", "events/s",
-        "inserts ok", "lookups ok", "peak RSS (MB)",
+        "workload",
+        "scale",
+        "nodes",
+        "files",
+        "shards",
+        "wall (s)",
+        "events/s",
+        "inserts ok",
+        "lookups ok",
+        "peak RSS (MB)",
     ]
     .iter()
     .map(|s| s.to_string())
@@ -267,6 +394,7 @@ fn main() {
                 m.scale_label.to_string(),
                 m.nodes.to_string(),
                 m.files.to_string(),
+                m.shards.to_string(),
                 format!("{:.2}", m.wall_seconds),
                 format!("{:.0}", m.events_per_sec()),
                 m.inserts_ok.to_string(),
@@ -278,8 +406,12 @@ fn main() {
     print_table("perf_suite", &header, &rows);
     write_csv("perf_suite", &header, &rows);
 
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"perf_suite\",\n  \"schema\": 1,\n");
+    json.push_str("{\n  \"bench\": \"perf_suite\",\n  \"schema\": 2,\n");
+    json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, m) in measured.iter().enumerate() {
         json.push_str("    ");

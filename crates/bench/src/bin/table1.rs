@@ -11,10 +11,17 @@ use rand::SeedableRng;
 fn main() {
     let scale = Scale::from_env();
     let mut rng = StdRng::seed_from_u64(2001);
-    let header: Vec<String> = ["Dist", "m (MB)", "sigma (MB)", "Lower", "Upper", "Total capacity (MB)"]
-        .iter()
-        .map(|s| s.to_string())
-        .collect();
+    let header: Vec<String> = [
+        "Dist",
+        "m (MB)",
+        "sigma (MB)",
+        "Lower",
+        "Upper",
+        "Total capacity (MB)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
     let mut rows = Vec::new();
     for dist in CapacityDistribution::table1() {
         let caps = dist.sample_nodes(scale.nodes, &mut rng);
@@ -29,7 +36,10 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Table 1: node storage-size distributions ({} nodes)", scale.nodes),
+        &format!(
+            "Table 1: node storage-size distributions ({} nodes)",
+            scale.nodes
+        ),
         &header,
         &rows,
     );

@@ -81,10 +81,17 @@ pub fn storage_row(label: &str, r: &ExperimentResult) -> Vec<String> {
 
 /// The header matching [`storage_row`].
 pub fn storage_header() -> Vec<String> {
-    ["Config", "Success", "Fail", "File div.", "Replica div.", "Util."]
-        .iter()
-        .map(|s| s.to_string())
-        .collect()
+    [
+        "Config",
+        "Success",
+        "Fail",
+        "File div.",
+        "Replica div.",
+        "Util.",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
 }
 
 /// Prints an aligned text table.

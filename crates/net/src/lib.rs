@@ -5,9 +5,14 @@
 //! 2250 nodes inside a single process, communicating through a network
 //! emulation environment. This crate provides that substrate:
 //!
-//! - [`Simulator`]: an event-queue simulator driving per-node
-//!   [`Protocol`] state machines with messages and timers, fully
-//!   deterministic for a given seed.
+//! - [`Simulator`]: the single-threaded event-queue simulator driving
+//!   per-node [`Protocol`] state machines with messages and timers,
+//!   fully deterministic for a given seed.
+//! - [`ShardedSim`]: the sharded multi-core engine — nodes are
+//!   partitioned across shards that advance in parallel under
+//!   conservative lookahead (window = the topology's
+//!   [`Topology::min_latency`]), with the *same seed producing the same
+//!   execution at any shard count*.
 //! - [`Topology`] implementations supplying the scalar *proximity metric*
 //!   that Pastry's locality heuristics depend on, and per-message latency:
 //!   [`EuclideanTopology`], [`ClusteredTopology`] (the eight-site NLANR
@@ -19,12 +24,17 @@
 
 mod addr;
 mod fault;
+mod proto;
+mod shard;
+mod sharded;
 mod sim;
 mod time;
 mod topology;
 
 pub use addr::Addr;
 pub use fault::{FaultPlan, NodeFault, Partition};
-pub use sim::{Ctx, NetStats, Protocol, Simulator};
+pub use proto::{Ctx, NetStats, Protocol};
+pub use sharded::ShardedSim;
+pub use sim::Simulator;
 pub use time::{SimDuration, SimTime};
 pub use topology::{ClusteredTopology, EuclideanTopology, Topology, UniformTopology};

@@ -1,0 +1,165 @@
+//! The protocol-facing surface shared by both simulation engines.
+//!
+//! [`Protocol`] and [`Ctx`] are what node state machines program
+//! against; [`NetStats`] is what harnesses read back. Both the
+//! single-threaded [`crate::Simulator`] and the sharded
+//! [`crate::ShardedSim`] drive the same trait through the same context,
+//! so protocol code is engine-agnostic by construction.
+
+use rand::rngs::StdRng;
+
+use crate::addr::Addr;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::Topology;
+
+/// A protocol instance running on one emulated node.
+///
+/// Handlers receive a [`Ctx`] for sending messages, arming timers,
+/// querying the proximity metric and emitting *upcalls* (protocol-level
+/// events that the experiment harness collects, e.g. "insert completed").
+pub trait Protocol: Sized {
+    /// Message type exchanged between nodes.
+    type Msg;
+    /// Harness-visible event type.
+    type Upcall;
+
+    /// Invoked once when the node is added to the network (and again on
+    /// recovery unless [`Protocol::on_recover`] is overridden).
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
+        let _ = ctx;
+    }
+
+    /// Invoked for every delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, from: Addr, msg: Self::Msg);
+
+    /// Invoked when a timer armed via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, token: u64) {
+        let _ = (ctx, token);
+    }
+
+    /// Invoked when a previously failed node comes back online.
+    /// Defaults to [`Protocol::on_start`].
+    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
+        self.on_start(ctx);
+    }
+}
+
+/// Handler context: the API a protocol uses to interact with the network.
+pub struct Ctx<'a, M, U> {
+    pub(crate) now: SimTime,
+    pub(crate) self_addr: Addr,
+    pub(crate) topology: &'a dyn Topology,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) out: &'a mut Vec<Output<M, U>>,
+}
+
+pub(crate) enum Output<M, U> {
+    Send { dst: Addr, msg: M },
+    Timer { delay: SimDuration, token: u64 },
+    Upcall(U),
+}
+
+impl<'a, M, U> Ctx<'a, M, U> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's address.
+    pub fn addr(&self) -> Addr {
+        self.self_addr
+    }
+
+    /// Sends `msg` to `dst`; it arrives after the topology's latency.
+    pub fn send(&mut self, dst: Addr, msg: M) {
+        self.out.push(Output::Send { dst, msg });
+    }
+
+    /// Arms a timer that fires after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.out.push(Output::Timer { delay, token });
+    }
+
+    /// Emits a harness-visible event.
+    pub fn emit(&mut self, upcall: U) {
+        self.out.push(Output::Upcall(upcall));
+    }
+
+    /// Scalar proximity between this node and `other` (e.g. an RTT probe).
+    pub fn proximity(&self, other: Addr) -> f64 {
+        self.topology.distance(self.self_addr, other)
+    }
+
+    /// Scalar proximity between two arbitrary nodes. Real deployments
+    /// estimate this with probes; the emulation exposes the metric
+    /// directly, as the paper's emulation environment does.
+    pub fn proximity_between(&self, a: Addr, b: Addr) -> f64 {
+        self.topology.distance(a, b)
+    }
+
+    /// Deterministic RNG. Under the single-threaded engine this is one
+    /// per-simulation stream; under the sharded engine it is a per-node
+    /// stream seeded from `(master seed, address)`, which keeps every
+    /// draw independent of how nodes are partitioned into shards.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// Counters describing network-level activity, including every fault
+/// injected by an installed [`crate::FaultPlan`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Messages delivered to a live node.
+    pub delivered: u64,
+    /// Messages dropped for any reason (dead/absent destination,
+    /// injected loss, or an active partition).
+    pub dropped: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Events processed in total.
+    pub events: u64,
+    /// Scheduled node crashes applied.
+    pub crashes: u64,
+    /// Scheduled node recoveries applied.
+    pub recoveries: u64,
+    /// Messages dropped by injected loss (global or per-link).
+    pub lost: u64,
+    /// Messages dropped by an active partition.
+    pub partition_dropped: u64,
+    /// Messages whose latency received injected jitter.
+    pub jittered: u64,
+    /// High-water mark of the event queue (sizing diagnostics). Under
+    /// the sharded engine this is the sum of per-shard peaks — an
+    /// upper bound on the true global peak, and the one stats field
+    /// that is *not* invariant across shard counts.
+    pub queue_peak: u64,
+}
+
+impl NetStats {
+    /// Events processed per wall-clock second — the simulator's
+    /// throughput figure for perf reporting. Zero when `wall_seconds`
+    /// is not positive.
+    pub fn events_per_sec(&self, wall_seconds: f64) -> f64 {
+        if wall_seconds > 0.0 {
+            self.events as f64 / wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Folds another engine shard's counters into this one (all fields
+    /// sum; see [`NetStats::queue_peak`] for its caveat).
+    pub fn merge_from(&mut self, o: &NetStats) {
+        self.delivered += o.delivered;
+        self.dropped += o.dropped;
+        self.timers_fired += o.timers_fired;
+        self.events += o.events;
+        self.crashes += o.crashes;
+        self.recoveries += o.recoveries;
+        self.lost += o.lost;
+        self.partition_dropped += o.partition_dropped;
+        self.jittered += o.jittered;
+        self.queue_peak += o.queue_peak;
+    }
+}

@@ -1,4 +1,4 @@
-//! The discrete-event simulator core.
+//! The single-threaded discrete-event simulator core.
 //!
 //! The paper's prototype ran up to 2250 PAST nodes inside a single Java VM
 //! communicating through a network emulation layer. This module is the
@@ -6,6 +6,10 @@
 //! delivered messages and timers; an event queue orders all activity by
 //! simulated time with a strict total order (time, then sequence number),
 //! so any experiment is exactly reproducible from its seed.
+//!
+//! The protocol surface ([`Protocol`], [`Ctx`], [`NetStats`]) lives in
+//! [`crate::proto`], shared with the multi-core [`crate::ShardedSim`]
+//! engine; this file is the reference engine both are measured against.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -15,99 +19,9 @@ use rand::{Rng, SeedableRng};
 
 use crate::addr::Addr;
 use crate::fault::{FaultPlan, NodeFault};
+use crate::proto::{Ctx, NetStats, Output, Protocol};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::Topology;
-
-/// A protocol instance running on one emulated node.
-///
-/// Handlers receive a [`Ctx`] for sending messages, arming timers,
-/// querying the proximity metric and emitting *upcalls* (protocol-level
-/// events that the experiment harness collects, e.g. "insert completed").
-pub trait Protocol: Sized {
-    /// Message type exchanged between nodes.
-    type Msg;
-    /// Harness-visible event type.
-    type Upcall;
-
-    /// Invoked once when the node is added to the network (and again on
-    /// recovery unless [`Protocol::on_recover`] is overridden).
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
-        let _ = ctx;
-    }
-
-    /// Invoked for every delivered message.
-    fn on_message(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, from: Addr, msg: Self::Msg);
-
-    /// Invoked when a timer armed via [`Ctx::set_timer`] fires.
-    fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, token: u64) {
-        let _ = (ctx, token);
-    }
-
-    /// Invoked when a previously failed node comes back online.
-    /// Defaults to [`Protocol::on_start`].
-    fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
-        self.on_start(ctx);
-    }
-}
-
-/// Handler context: the API a protocol uses to interact with the network.
-pub struct Ctx<'a, M, U> {
-    now: SimTime,
-    self_addr: Addr,
-    topology: &'a dyn Topology,
-    rng: &'a mut StdRng,
-    out: &'a mut Vec<Output<M, U>>,
-}
-
-enum Output<M, U> {
-    Send { dst: Addr, msg: M },
-    Timer { delay: SimDuration, token: u64 },
-    Upcall(U),
-}
-
-impl<'a, M, U> Ctx<'a, M, U> {
-    /// Current simulated time.
-    pub fn now(&self) -> SimTime {
-        self.now
-    }
-
-    /// This node's address.
-    pub fn addr(&self) -> Addr {
-        self.self_addr
-    }
-
-    /// Sends `msg` to `dst`; it arrives after the topology's latency.
-    pub fn send(&mut self, dst: Addr, msg: M) {
-        self.out.push(Output::Send { dst, msg });
-    }
-
-    /// Arms a timer that fires after `delay` with the given token.
-    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.out.push(Output::Timer { delay, token });
-    }
-
-    /// Emits a harness-visible event.
-    pub fn emit(&mut self, upcall: U) {
-        self.out.push(Output::Upcall(upcall));
-    }
-
-    /// Scalar proximity between this node and `other` (e.g. an RTT probe).
-    pub fn proximity(&self, other: Addr) -> f64 {
-        self.topology.distance(self.self_addr, other)
-    }
-
-    /// Scalar proximity between two arbitrary nodes. Real deployments
-    /// estimate this with probes; the emulation exposes the metric
-    /// directly, as the paper's emulation environment does.
-    pub fn proximity_between(&self, a: Addr, b: Addr) -> f64 {
-        self.topology.distance(a, b)
-    }
-
-    /// Deterministic per-simulation RNG.
-    pub fn rng(&mut self) -> &mut StdRng {
-        self.rng
-    }
-}
 
 #[derive(Debug)]
 enum EventKind<M> {
@@ -145,46 +59,6 @@ impl<M> Ord for Event<M> {
 struct NodeSlot<P> {
     proto: Option<P>,
     up: bool,
-}
-
-/// Counters describing network-level activity, including every fault
-/// injected by an installed [`FaultPlan`].
-#[derive(Clone, Copy, Debug, Default)]
-pub struct NetStats {
-    /// Messages delivered to a live node.
-    pub delivered: u64,
-    /// Messages dropped for any reason (dead/absent destination,
-    /// injected loss, or an active partition).
-    pub dropped: u64,
-    /// Timer events fired.
-    pub timers_fired: u64,
-    /// Events processed in total.
-    pub events: u64,
-    /// Scheduled node crashes applied.
-    pub crashes: u64,
-    /// Scheduled node recoveries applied.
-    pub recoveries: u64,
-    /// Messages dropped by injected loss (global or per-link).
-    pub lost: u64,
-    /// Messages dropped by an active partition.
-    pub partition_dropped: u64,
-    /// Messages whose latency received injected jitter.
-    pub jittered: u64,
-    /// High-water mark of the event queue (sizing diagnostics).
-    pub queue_peak: u64,
-}
-
-impl NetStats {
-    /// Events processed per wall-clock second — the simulator's
-    /// throughput figure for perf reporting. Zero when `wall_seconds`
-    /// is not positive.
-    pub fn events_per_sec(&self, wall_seconds: f64) -> f64 {
-        if wall_seconds > 0.0 {
-            self.events as f64 / wall_seconds
-        } else {
-            0.0
-        }
-    }
 }
 
 /// The discrete-event network simulator.

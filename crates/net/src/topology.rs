@@ -23,7 +23,10 @@ use crate::addr::Addr;
 use crate::time::SimDuration;
 
 /// A proximity/latency model over node addresses.
-pub trait Topology: Send {
+///
+/// `Send + Sync` because the sharded engine shares one topology across
+/// its worker shards; all provided models are plain immutable data.
+pub trait Topology: Send + Sync {
     /// Scalar proximity metric between two nodes. Smaller is closer.
     /// Symmetric; zero only for a node and itself.
     fn distance(&self, a: Addr, b: Addr) -> f64;
@@ -33,6 +36,18 @@ pub trait Topology: Send {
 
     /// Number of addressable slots (addresses `0..capacity` are valid).
     fn capacity(&self) -> usize;
+
+    /// A lower bound on [`Topology::latency`] over all node pairs: the
+    /// conservative-lookahead window of the sharded engine. Any message
+    /// sent at time `t` arrives no earlier than `t + min_latency()`, so
+    /// shards may process a window of that width without synchronizing.
+    ///
+    /// The default is [`SimDuration::ZERO`] (no lookahead available);
+    /// the sharded engine rejects such topologies, so custom models
+    /// must override this to opt in.
+    fn min_latency(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
 }
 
 /// Nodes at uniformly random points in the unit square; latency is
@@ -88,6 +103,11 @@ impl Topology for EuclideanTopology {
 
     fn capacity(&self) -> usize {
         self.points.len()
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        // Every latency is base + (distance-proportional) ≥ base.
+        SimDuration::from_micros(self.base_latency_us)
     }
 }
 
@@ -180,6 +200,10 @@ impl Topology for ClusteredTopology {
     fn capacity(&self) -> usize {
         self.cluster_of.len()
     }
+
+    fn min_latency(&self) -> SimDuration {
+        SimDuration::from_micros(self.base_latency_us)
+    }
 }
 
 /// All pairs equidistant: the degenerate control model.
@@ -211,6 +235,10 @@ impl Topology for UniformTopology {
 
     fn capacity(&self) -> usize {
         self.n
+    }
+
+    fn min_latency(&self) -> SimDuration {
+        self.latency
     }
 }
 
@@ -259,6 +287,59 @@ mod tests {
     #[should_panic]
     fn clustered_rejects_bad_assignment() {
         ClusteredTopology::from_assignment(vec![0, 5], 2);
+    }
+
+    #[test]
+    fn euclidean_min_latency_is_base_cost() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = EuclideanTopology::random(16, &mut rng);
+        assert_eq!(t.min_latency(), SimDuration::from_micros(1_000));
+        let t = t.with_latency(250, 10_000);
+        assert_eq!(t.min_latency(), SimDuration::from_micros(250));
+        // It really is a lower bound over all pairs.
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                assert!(t.latency(Addr(i), Addr(j)) >= t.min_latency());
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_min_latency_is_base_cost() {
+        let t = ClusteredTopology::round_robin(16, 4);
+        assert_eq!(t.min_latency(), SimDuration::from_micros(1_000));
+        for i in 0..16u32 {
+            for j in 0..16u32 {
+                assert!(t.latency(Addr(i), Addr(j)) >= t.min_latency());
+            }
+        }
+    }
+
+    #[test]
+    fn uniform_min_latency_is_its_constant() {
+        let t = UniformTopology::new(5, SimDuration::from_millis(2));
+        assert_eq!(t.min_latency(), SimDuration::from_millis(2));
+        let zero = UniformTopology::new(5, SimDuration::ZERO);
+        assert_eq!(zero.min_latency(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn default_min_latency_is_zero() {
+        // Custom models that don't override min_latency() advertise no
+        // lookahead and are rejected by the sharded engine.
+        struct Custom;
+        impl Topology for Custom {
+            fn distance(&self, _: Addr, _: Addr) -> f64 {
+                1.0
+            }
+            fn latency(&self, _: Addr, _: Addr) -> SimDuration {
+                SimDuration::from_millis(1)
+            }
+            fn capacity(&self) -> usize {
+                2
+            }
+        }
+        assert_eq!(Custom.min_latency(), SimDuration::ZERO);
     }
 
     #[test]

@@ -96,6 +96,19 @@ impl Histogram {
         self.max
     }
 
+    /// Folds another histogram into this one (bucket-wise addition).
+    /// Merging is commutative and associative, so per-shard histograms
+    /// combine into the same totals regardless of shard count or merge
+    /// order — the property the sharded engine's determinism rests on.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        for (b, ob) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += ob;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
     /// Serializes the summary as a JSON object.
     pub fn to_json(&self) -> String {
         json::object(&[
@@ -167,6 +180,27 @@ impl MetricsRegistry {
     /// The named histogram, if any samples were recorded.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Folds another registry into this one: counters add, histograms
+    /// merge bucket-wise, gauges take the other registry's value (a
+    /// gauge is a point sample — shard registries only carry gauges the
+    /// harness set, which it does on the merged side anyway).
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, delta) in &other.counters {
+            *self.counters.entry_ref_or_insert(name) += delta;
+        }
+        for (name, value) in &other.gauges {
+            self.gauge(name, *value);
+        }
+        for (name, hist) in &other.histograms {
+            match self.histograms.get_mut(name) {
+                Some(h) => h.merge_from(hist),
+                None => {
+                    self.histograms.insert(name.clone(), hist.clone());
+                }
+            }
+        }
     }
 
     /// Serializes a point-in-time snapshot (all metrics plus the sim
@@ -268,6 +302,52 @@ mod tests {
              \"gauges\":{\"z.gauge\":-5},\
              \"histograms\":{\"lat_us\":{\"count\":1,\"sum\":7,\"max\":7,\"p50\":7,\"p95\":7,\"p99\":7}}}"
         );
+    }
+
+    #[test]
+    fn registry_merge_sums_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.counter("net.sent", 5);
+        b.counter("net.sent", 7);
+        b.counter("net.lost", 1);
+        a.observe("lat", 3);
+        b.observe("lat", 100);
+        b.observe("other", 1);
+        a.gauge("g", 1);
+        b.gauge("g", 2);
+        a.merge_from(&b);
+        assert_eq!(a.counter_value("net.sent"), 12);
+        assert_eq!(a.counter_value("net.lost"), 1);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 103);
+        assert_eq!(h.max(), 100);
+        assert_eq!(a.histogram("other").unwrap().count(), 1);
+        assert_eq!(a.gauge_value("g"), Some(2));
+    }
+
+    #[test]
+    fn histogram_merge_is_order_independent() {
+        let samples = [0u64, 1, 7, 1024, 999_999];
+        let mut whole = Histogram::default();
+        for &s in &samples {
+            whole.observe(s);
+        }
+        // Split across three shards, merged in reverse order.
+        let mut parts = [
+            Histogram::default(),
+            Histogram::default(),
+            Histogram::default(),
+        ];
+        for (i, &s) in samples.iter().enumerate() {
+            parts[i % 3].observe(s);
+        }
+        let mut merged = Histogram::default();
+        for p in parts.iter().rev() {
+            merged.merge_from(p);
+        }
+        assert_eq!(merged.to_json(), whole.to_json());
     }
 
     #[test]

@@ -19,7 +19,46 @@ use crate::span::{OpSpan, SpanEvent, SpanId};
 /// in `spans_dropped`).
 pub const DEFAULT_MAX_SPANS: usize = 512;
 
+/// A partial view of one operation span as seen by a single shard of
+/// the sharded engine. An operation crosses shard boundaries, so one
+/// shard may see only the start, only the end, or only a few timeline
+/// events; fragments are stitched back into whole [`OpSpan`]s when a
+/// shard recorder is absorbed into the primary recorder.
+#[derive(Clone, Debug, Default)]
+struct SpanFragment {
+    kind: Option<&'static str>,
+    started_at: Option<u64>,
+    ended_at: Option<u64>,
+    outcome: &'static str,
+    events: Vec<SpanEvent>,
+}
+
+impl SpanFragment {
+    fn merge_from(&mut self, mut other: SpanFragment) {
+        if self.kind.is_none() {
+            self.kind = other.kind;
+        }
+        if self.started_at.is_none() {
+            self.started_at = other.started_at;
+        }
+        if self.ended_at.is_none() {
+            self.ended_at = other.ended_at;
+            if !other.outcome.is_empty() {
+                self.outcome = other.outcome;
+            }
+        }
+        self.events.append(&mut other.events);
+    }
+}
+
 /// Collects metrics and spans for one run.
+///
+/// Two modes share the struct: a *primary* recorder (the default)
+/// tracks spans start-to-end on one thread, and a *fragment* recorder
+/// ([`Recorder::fragment`]) records whatever pieces of a span its shard
+/// happens to process, deferring stitching and duration accounting to
+/// [`Recorder::absorb`]/[`Recorder::finalize_completed_spans`] on the
+/// primary.
 pub struct Recorder {
     metrics: MetricsRegistry,
     active: BTreeMap<SpanId, OpSpan>,
@@ -27,6 +66,13 @@ pub struct Recorder {
     max_spans: usize,
     spans_dropped: u64,
     snapshots: Vec<String>,
+    /// Fragment mode: span calls land in `fragments` instead of
+    /// `active`/`finished`, and `span_end` does not feed histograms.
+    is_fragment: bool,
+    /// Fragment mode: partial spans recorded by this shard.
+    fragments: BTreeMap<SpanId, SpanFragment>,
+    /// Primary mode: absorbed fragments awaiting their missing pieces.
+    pending: BTreeMap<SpanId, SpanFragment>,
 }
 
 impl Default for Recorder {
@@ -45,7 +91,25 @@ impl Recorder {
             max_spans: DEFAULT_MAX_SPANS,
             spans_dropped: 0,
             snapshots: Vec::new(),
+            is_fragment: false,
+            fragments: BTreeMap::new(),
+            pending: BTreeMap::new(),
         }
+    }
+
+    /// Creates a per-shard fragment recorder: metrics accumulate as
+    /// deltas (drained by [`Recorder::absorb`]) and span calls record
+    /// partial timelines keyed by [`SpanId`] for later stitching.
+    pub fn fragment() -> Self {
+        Recorder {
+            is_fragment: true,
+            ..Self::new()
+        }
+    }
+
+    /// Whether this is a per-shard fragment recorder.
+    pub fn is_fragment(&self) -> bool {
+        self.is_fragment
     }
 
     /// Creates a recorder retaining at most `max_spans` finished span
@@ -78,26 +142,52 @@ impl Recorder {
     }
 
     fn span_start(&mut self, id: SpanId, kind: &'static str, at_us: u64) {
+        if self.is_fragment {
+            let f = self.fragments.entry(id).or_default();
+            f.kind = Some(kind);
+            f.started_at = Some(at_us);
+            return;
+        }
         self.active.insert(id, OpSpan::start(id, kind, at_us));
     }
 
     fn span_event(&mut self, id: SpanId, at_us: u64, node: u32, label: &'static str, value: i64) {
+        let ev = SpanEvent {
+            at_us,
+            node,
+            label,
+            value,
+        };
+        if self.is_fragment {
+            // A shard can't tell whether the span was ever opened (the
+            // start may live on another shard); keep everything and let
+            // finalization drop startless spans, as the primary does.
+            self.fragments.entry(id).or_default().events.push(ev);
+            return;
+        }
         if let Some(span) = self.active.get_mut(&id) {
-            span.events.push(SpanEvent {
-                at_us,
-                node,
-                label,
-                value,
-            });
+            span.events.push(ev);
         }
     }
 
     fn span_end(&mut self, id: SpanId, at_us: u64, outcome: &'static str) {
+        if self.is_fragment {
+            let f = self.fragments.entry(id).or_default();
+            f.ended_at = Some(at_us);
+            f.outcome = outcome;
+            return;
+        }
         let Some(mut span) = self.active.remove(&id) else {
             return;
         };
         span.ended_at = at_us;
         span.outcome = outcome;
+        self.finish_span(span);
+    }
+
+    /// Feeds a completed span's duration into its kind histogram and
+    /// retains the timeline under the cap.
+    fn finish_span(&mut self, span: OpSpan) {
         let hist = match span.kind {
             "insert" => "span.insert.duration_us",
             "lookup" => "span.lookup.duration_us",
@@ -113,6 +203,63 @@ impl Recorder {
         }
     }
 
+    /// Drains a shard's fragment recorder into this primary recorder:
+    /// metric deltas merge into the registry and span fragments merge
+    /// into the pending-assembly map. Call once per shard (in shard
+    /// order, for a deterministic event concatenation order), then
+    /// [`Self::finalize_completed_spans`] once.
+    pub fn absorb(&mut self, shard: &mut Recorder) {
+        debug_assert!(shard.is_fragment, "absorb takes a fragment recorder");
+        self.metrics.merge_from(&shard.metrics);
+        shard.metrics = MetricsRegistry::new();
+        for (id, frag) in std::mem::take(&mut shard.fragments) {
+            match self.pending.get_mut(&id) {
+                Some(p) => p.merge_from(frag),
+                None => {
+                    self.pending.insert(id, frag);
+                }
+            }
+        }
+    }
+
+    /// Stitches every pending span whose start *and* end have been
+    /// absorbed into a finished [`OpSpan`]: timeline events sort by
+    /// `(at_us, node)` (stable, so one node's emission order is kept),
+    /// spans finalize in `(ended_at, id)` order, and durations feed the
+    /// `span.<kind>.duration_us` histograms exactly as a single-thread
+    /// run would. Spans with an end but no recorded start mirror the
+    /// primary path's behaviour for unknown spans: dropped silently.
+    pub fn finalize_completed_spans(&mut self) {
+        let done: Vec<SpanId> = self
+            .pending
+            .iter()
+            .filter(|(_, f)| f.ended_at.is_some())
+            .map(|(id, _)| *id)
+            .collect();
+        let mut completed = Vec::with_capacity(done.len());
+        for id in done {
+            let f = self.pending.remove(&id).expect("collected above");
+            let (Some(kind), Some(started_at)) = (f.kind, f.started_at) else {
+                // Recording began mid-operation; no start was ever seen.
+                continue;
+            };
+            let mut events = f.events;
+            events.sort_by_key(|e| (e.at_us, e.node));
+            completed.push(OpSpan {
+                id,
+                kind,
+                started_at,
+                ended_at: f.ended_at.expect("filtered on ended_at"),
+                outcome: f.outcome,
+                events,
+            });
+        }
+        completed.sort_by_key(|s| (s.ended_at, s.id));
+        for span in completed {
+            self.finish_span(span);
+        }
+    }
+
     /// Builds the full report document emitted to
     /// `results/metrics_<label>.json`: run identity, every snapshot
     /// taken, the retained span timelines, and drop accounting.
@@ -124,7 +271,10 @@ impl Recorder {
             ("snapshots", json::array(&self.snapshots)),
             ("spans", json::array(&spans)),
             ("spans_dropped", self.spans_dropped.to_string()),
-            ("spans_open", self.active.len().to_string()),
+            (
+                "spans_open",
+                (self.active.len() + self.pending.len()).to_string(),
+            ),
         ])
     }
 }
@@ -278,6 +428,86 @@ mod tests {
                 .count(),
             3
         );
+    }
+
+    #[test]
+    fn fragments_stitch_into_whole_spans() {
+        // One operation crosses two shards: shard A sees the start and
+        // a hop, shard B sees a hop and the end.
+        let id = SpanId { node: 2, seq: 5 };
+        let mut a = Recorder::fragment();
+        let mut b = Recorder::fragment();
+        a.metrics.counter("net.delivered", 3);
+        b.metrics.counter("net.delivered", 4);
+        a.span_start(id, "insert", 100);
+        a.span_event(id, 120, 2, "hop", 1);
+        b.span_event(id, 110, 7, "hop", 2);
+        b.span_end(id, 300, "ok");
+
+        let mut primary = Recorder::new();
+        primary.absorb(&mut a);
+        primary.absorb(&mut b);
+        primary.finalize_completed_spans();
+
+        assert_eq!(primary.metrics().counter_value("net.delivered"), 7);
+        // Shard deltas were drained.
+        assert_eq!(a.metrics().counter_value("net.delivered"), 0);
+        assert_eq!(primary.finished_spans().len(), 1);
+        let span = &primary.finished_spans()[0];
+        assert_eq!(span.kind, "insert");
+        assert_eq!(span.outcome, "ok");
+        assert_eq!(span.duration_us(), 200);
+        // Events sorted by (at_us, node) regardless of absorb order.
+        let order: Vec<u64> = span.events.iter().map(|e| e.at_us).collect();
+        assert_eq!(order, vec![110, 120]);
+        let dur = primary
+            .metrics()
+            .histogram("span.insert.duration_us")
+            .expect("stitched duration recorded");
+        assert_eq!(dur.count(), 1);
+        assert_eq!(dur.max(), 200);
+    }
+
+    #[test]
+    fn fragment_stitch_order_is_shard_invariant() {
+        // The same recorded pieces distributed over 1 vs 3 shard
+        // recorders must produce an identical report.
+        let ops: &[(u32, u64)] = &[(1, 1), (2, 1), (3, 1)];
+        let run = |shards: usize| {
+            let mut frags: Vec<Recorder> = (0..shards).map(|_| Recorder::fragment()).collect();
+            for &(node, seq) in ops {
+                let id = SpanId { node, seq };
+                let start_shard = node as usize % shards;
+                let end_shard = (node as usize + 1) % shards;
+                frags[start_shard].span_start(id, "lookup", 10 * node as u64);
+                frags[end_shard].span_event(id, 10 * node as u64 + 1, node + 8, "hop", 1);
+                frags[end_shard].span_end(id, 10 * node as u64 + 5, "ok");
+                frags[start_shard].metrics.counter("net.sent", node as u64);
+            }
+            let mut primary = Recorder::new();
+            for f in frags.iter_mut() {
+                primary.absorb(f);
+            }
+            primary.finalize_completed_spans();
+            primary.take_snapshot(99);
+            primary.report_json("inv", 1)
+        };
+        assert_eq!(run(1), run(3));
+    }
+
+    #[test]
+    fn endless_and_startless_fragments_handled() {
+        let mut frag = Recorder::fragment();
+        // Startless (recording began mid-operation): dropped at finalize.
+        frag.span_end(SpanId { node: 1, seq: 1 }, 50, "ok");
+        // Endless (still open): stays pending, counted as open.
+        frag.span_start(SpanId { node: 1, seq: 2 }, "maint", 10);
+        let mut primary = Recorder::new();
+        primary.absorb(&mut frag);
+        primary.finalize_completed_spans();
+        assert!(primary.finished_spans().is_empty());
+        let report = primary.report_json("frag", 0);
+        assert!(report.ends_with("\"spans_dropped\":0,\"spans_open\":1}"));
     }
 
     #[test]

@@ -26,6 +26,8 @@ use past_core::{MaintStats, PastConfig, PastEvent, PastNode, PastOverlayNode};
 use past_crypto::{KeyPair, Scheme};
 use past_id::FileId;
 use past_net::{Addr, EuclideanTopology, FaultPlan, NetStats, SimDuration, Simulator};
+
+use crate::engine::Engine;
 use past_pastry::{NodeEntry, PastryConfig, PastryNode};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -49,6 +51,9 @@ pub struct ChurnConfig {
     pub files: usize,
     /// Size of each inserted file.
     pub file_size: u64,
+    /// Simulation shards: 0 = single-threaded legacy engine, `n ≥ 1` =
+    /// sharded engine with `n` shards (shard-count invariant results).
+    pub shards: usize,
 }
 
 impl Default for ChurnConfig {
@@ -71,6 +76,7 @@ impl Default for ChurnConfig {
             capacity: 40_000_000,
             files: 8,
             file_size: 20_000,
+            shards: 0,
         }
     }
 }
@@ -137,7 +143,7 @@ impl InvariantReport {
 /// Drives one churn experiment: build → insert → churn → heal → audit.
 pub struct ChurnRunner {
     cfg: ChurnConfig,
-    sim: Simulator<PastOverlayNode>,
+    sim: Engine,
     entries: Vec<NodeEntry>,
     /// Successful, unreclaimed inserts (the audited working set).
     files: Vec<(FileId, u64)>,
@@ -158,8 +164,7 @@ impl ChurnRunner {
     pub fn build(cfg: ChurnConfig) -> Self {
         let mut seeder = StdRng::seed_from_u64(cfg.seed);
         let topo = EuclideanTopology::random(cfg.nodes, &mut seeder);
-        let mut sim: Simulator<PastOverlayNode> =
-            Simulator::new(Box::new(topo), cfg.seed ^ 0xc4a2);
+        let mut sim = Engine::build(Box::new(topo), cfg.seed ^ 0xc4a2, cfg.shards);
         let mut entries = Vec::with_capacity(cfg.nodes);
         for i in 0..cfg.nodes {
             let keys = KeyPair::generate(Scheme::Keyed, &mut seeder);
@@ -172,7 +177,10 @@ impl ChurnRunner {
             } else {
                 Some(Addr(seeder.gen_range(0..i) as u32))
             };
-            sim.add_node(addr, PastryNode::new(cfg.pastry.clone(), entry, app, bootstrap));
+            sim.add_node(
+                addr,
+                PastryNode::new(cfg.pastry.clone(), entry, app, bootstrap),
+            );
             // Keep-alives are armed, so the queue never drains: settle
             // each join with a bounded window instead.
             sim.run_for(SimDuration::from_secs(1));
@@ -206,6 +214,7 @@ impl ChurnRunner {
     /// Appends a registry snapshot stamped with the current sim time
     /// (no-op unless [`Self::enable_metrics`] was called).
     pub fn snapshot_metrics(&mut self) {
+        self.sim.sync_obs();
         past_obs::gauge("net.queue_len", self.sim.queue_len() as i64);
         past_obs::gauge("sim.files_live", self.files.len() as i64);
         let at = self.sim.now().micros();
@@ -223,15 +232,53 @@ impl ChurnRunner {
         Some(json)
     }
 
-    /// The simulator (for custom fault plans and inspection).
+    /// The legacy simulator (for custom fault plans and inspection).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the sharded engine (`cfg.shards >= 1`); use the
+    /// engine-agnostic wrappers ([`Self::run_for`],
+    /// [`Self::set_loss_probability`], …) or [`Self::engine`] instead.
     pub fn sim(&self) -> &Simulator<PastOverlayNode> {
+        self.sim
+            .as_single()
+            .expect("ChurnRunner::sim() requires the single-threaded engine (cfg.shards == 0)")
+    }
+
+    /// Mutable legacy simulator access (for scenario surgery in tests:
+    /// direct kills, recoveries, extra invocations). Same engine
+    /// restriction as [`Self::sim`].
+    pub fn sim_mut(&mut self) -> &mut Simulator<PastOverlayNode> {
+        self.sim
+            .as_single_mut()
+            .expect("ChurnRunner::sim_mut() requires the single-threaded engine (cfg.shards == 0)")
+    }
+
+    /// Engine-agnostic access to the simulation backend.
+    pub fn engine(&self) -> &Engine {
         &self.sim
     }
 
-    /// Mutable simulator access (for scenario surgery in tests: direct
-    /// kills, recoveries, extra invocations).
-    pub fn sim_mut(&mut self) -> &mut Simulator<PastOverlayNode> {
-        &mut self.sim
+    /// Advances simulated time by `span` on whichever engine is active.
+    pub fn run_for(&mut self, span: SimDuration) {
+        self.sim.run_for(span);
+    }
+
+    /// Sets the global i.i.d. message-loss probability on whichever
+    /// engine is active.
+    pub fn set_loss_probability(&mut self, p: f64) {
+        self.sim.set_loss_probability(p);
+    }
+
+    /// Discards pending upcalls on whichever engine is active.
+    pub fn discard_upcalls(&mut self) {
+        self.sim.discard_upcalls();
+    }
+
+    /// Removes a node on whichever engine is active, returning its
+    /// protocol state.
+    pub fn remove_node(&mut self, addr: Addr) -> Option<PastOverlayNode> {
+        self.sim.remove_node(addr)
     }
 
     /// The overlay's node identities.
@@ -332,7 +379,7 @@ impl ChurnRunner {
         let mut buf = Vec::new();
         for i in 0..count {
             let (fid, _) = self.files[i % self.files.len()];
-            let live: Vec<Addr> = self.sim.live_addrs().collect();
+            let live: Vec<Addr> = self.sim.live_addrs();
             if live.is_empty() {
                 break;
             }

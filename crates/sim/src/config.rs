@@ -55,6 +55,10 @@ pub struct ExperimentConfig {
     pub topology: TopologyKind,
     /// Master seed.
     pub seed: u64,
+    /// Simulation shards: 0 runs the single-threaded legacy engine,
+    /// `n ≥ 1` runs the sharded engine with `n` shards (same seed ⇒
+    /// same execution at any shard count; see `past_net::ShardedSim`).
+    pub shards: usize,
 }
 
 impl Default for ExperimentConfig {
@@ -74,6 +78,7 @@ impl Default for ExperimentConfig {
             replay_lookups: false,
             topology: TopologyKind::Euclidean,
             seed: 2001,
+            shards: 0,
         }
     }
 }

@@ -16,12 +16,14 @@
 
 mod churn;
 mod config;
+mod engine;
 mod metrics;
 mod report;
 mod runner;
 
 pub use churn::{ChurnConfig, ChurnRunner, InvariantReport, UnderReplicated, CLIENT};
 pub use config::{ExperimentConfig, TopologyKind};
+pub use engine::Engine;
 pub use metrics::{ExperimentResult, InsertRecord, LookupRecord};
 pub use report::write_metrics_file;
 pub use runner::{run_experiment, Runner};

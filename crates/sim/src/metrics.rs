@@ -91,8 +91,7 @@ impl ExperimentResult {
     /// Fraction of successful inserts that needed at least one file
     /// diversion (Table 2's "File diversion" column).
     pub fn file_diversion_ratio(&self) -> f64 {
-        let succeeded: Vec<&InsertRecord> =
-            self.inserts.iter().filter(|r| r.success).collect();
+        let succeeded: Vec<&InsertRecord> = self.inserts.iter().filter(|r| r.success).collect();
         if succeeded.is_empty() {
             return 0.0;
         }
@@ -259,7 +258,11 @@ impl ExperimentResult {
         if found == 0 {
             return 0.0;
         }
-        self.lookups.iter().filter(|r| r.found && r.cache_hit).count() as f64 / found as f64
+        self.lookups
+            .iter()
+            .filter(|r| r.found && r.cache_hit)
+            .count() as f64
+            / found as f64
     }
 }
 
@@ -317,13 +320,7 @@ mod tests {
         let curve = r.cumulative_failure_curve(10);
         assert_eq!(curve.len(), 11);
         // At u = 0.5, one of two inserts so far... both succeeded.
-        let at = |u: f64| {
-            curve
-                .iter()
-                .find(|(g, _)| (*g - u).abs() < 1e-9)
-                .unwrap()
-                .1
-        };
+        let at = |u: f64| curve.iter().find(|(g, _)| (*g - u).abs() < 1e-9).unwrap().1;
         assert_eq!(at(0.5), 0.0);
         assert!((at(0.6) - 1.0 / 3.0).abs() < 1e-12);
         assert!((at(1.0) - 0.5).abs() < 1e-12);

@@ -5,6 +5,8 @@ use past_core::{PastEvent, PastNode, PastOverlayNode};
 use past_crypto::{KeyPair, Scheme};
 use past_id::{FileId, IdHashMap};
 use past_net::{Addr, ClusteredTopology, EuclideanTopology, SimTime, Simulator, Topology};
+
+use crate::engine::Engine;
 use past_pastry::{NodeEntry, PastryNode};
 use past_workload::Trace;
 use rand::rngs::StdRng;
@@ -16,7 +18,7 @@ use crate::metrics::{is_cache_hit, ExperimentResult, InsertRecord, LookupRecord,
 /// A built overlay plus replay state.
 pub struct Runner {
     cfg: ExperimentConfig,
-    sim: Simulator<PastOverlayNode>,
+    sim: Engine,
     entries: Vec<NodeEntry>,
     total_capacity: u64,
     stored_bytes: u64,
@@ -49,14 +51,12 @@ impl Runner {
         let total_capacity: u64 = capacities.iter().sum();
 
         let topo: Box<dyn Topology> = match cfg.topology {
-            TopologyKind::Euclidean => {
-                Box::new(EuclideanTopology::random(cfg.nodes, &mut seeder))
-            }
+            TopologyKind::Euclidean => Box::new(EuclideanTopology::random(cfg.nodes, &mut seeder)),
             TopologyKind::Clustered { clusters } => {
                 Box::new(ClusteredTopology::round_robin(cfg.nodes, clusters))
             }
         };
-        let mut sim: Simulator<PastOverlayNode> = Simulator::new(topo, cfg.seed ^ 0x517);
+        let mut sim = Engine::build(topo, cfg.seed ^ 0x517, cfg.shards);
         // One insert fans out to ~k replicate/receipt exchanges per hop;
         // sizing the queue to the overlay keeps the binary heap from
         // repeatedly doubling (and copying every in-flight message)
@@ -76,7 +76,10 @@ impl Runner {
             } else {
                 Some(Addr(seeder.gen_range(0..i) as u32))
             };
-            sim.add_node(addr, PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap));
+            sim.add_node(
+                addr,
+                PastryNode::new(pastry_cfg.clone(), entry, app, bootstrap),
+            );
             sim.run_until_idle();
             entries.push(entry);
         }
@@ -122,7 +125,20 @@ impl Runner {
     }
 
     /// Access to the built overlay (for tests and custom experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the sharded engine (`cfg.shards >= 1`); scenario
+    /// surgery against raw simulator internals is a legacy-engine
+    /// affordance. Use [`Runner::engine`] for engine-agnostic access.
     pub fn sim(&self) -> &Simulator<PastOverlayNode> {
+        self.sim
+            .as_single()
+            .expect("Runner::sim() requires the single-threaded engine (cfg.shards == 0)")
+    }
+
+    /// Engine-agnostic access to the simulation backend.
+    pub fn engine(&self) -> &Engine {
         &self.sim
     }
 
@@ -195,11 +211,86 @@ impl Runner {
     /// Records harness-level gauges and appends a registry snapshot
     /// stamped with the current sim time.
     fn snapshot_metrics(&mut self) {
+        self.sim.sync_obs();
         past_obs::gauge("net.queue_len", self.sim.queue_len() as i64);
         past_obs::gauge("sim.stored_bytes", self.stored_bytes as i64);
         past_obs::gauge("sim.replicas_now", self.replicas_now as i64);
         let at = self.sim.now().micros();
         past_obs::with_recorder(|r| r.take_snapshot(at));
+    }
+
+    /// Replays the trace **open-loop**: operation `i` is injected at
+    /// simulated time `start + i × gap` without waiting for earlier
+    /// operations to finish, so many inserts are in flight at once.
+    /// This is the throughput mode the sharded engine is built for —
+    /// per-op replay (`run`) drains the network between operations,
+    /// which leaves too few concurrent events to spread across shards.
+    ///
+    /// Completed operations are attributed to their trace entry by the
+    /// `(client node, client-local seq)` pair that `PastNode` stamps on
+    /// every `InsertDone`/`LookupDone` upcall. Lookups of files whose
+    /// insert has not yet completed are skipped (the per-op replay
+    /// cannot hit that case; an open-loop replay can).
+    pub fn run_pipelined(mut self, trace: &Trace, gap: past_net::SimDuration) -> ExperimentResult {
+        let started = std::time::Instant::now();
+        if self.metrics.is_some() {
+            past_obs::install(past_obs::Recorder::new());
+        }
+        let total_ops = trace.ops.len();
+        let t0 = self.sim.now();
+        // (client addr, client-local seq) → trace file index.
+        let mut pending: std::collections::HashMap<(u32, u64), u32> =
+            std::collections::HashMap::new();
+        for (i, op) in trace.ops.iter().enumerate() {
+            let at = t0 + past_net::SimDuration(gap.0.saturating_mul(i as u64));
+            self.sim.run_until(at);
+            self.collect_pipelined(&mut pending);
+            let addr = self.node_of_client(op.client, trace);
+            if op.is_insert {
+                let spec = trace.files[op.file as usize];
+                let name = spec.name();
+                let size = spec.size;
+                let mut seq = 0u64;
+                self.sim.invoke(addr, |node, ctx| {
+                    node.invoke_app(ctx, |app, actx| {
+                        seq = app.insert(actx, &name, size);
+                    });
+                });
+                pending.insert((addr.0, seq), op.file);
+            } else if self.cfg.replay_lookups {
+                if let Some(fid) = self.file_ids.get(&op.file).copied() {
+                    self.sim.invoke(addr, move |node, ctx| {
+                        node.invoke_app(ctx, |app, actx| {
+                            app.lookup(actx, fid);
+                        });
+                    });
+                }
+            }
+            if let Some((_, every)) = &self.metrics {
+                if (i + 1) % every == 0 {
+                    self.snapshot_metrics();
+                }
+            }
+            if i % 1000 == 0 {
+                if let Some(cb) = self.progress.as_mut() {
+                    cb(i, total_ops);
+                }
+            }
+        }
+        self.sim.run_until_idle();
+        self.collect_pipelined(&mut pending);
+        if let Some((label, _)) = self.metrics.take() {
+            self.snapshot_metrics();
+            if let Some(rec) = past_obs::uninstall() {
+                let json = rec.report_json(&label, self.cfg.seed);
+                let _ = crate::report::write_metrics_file(&label, &json);
+                self.result.metrics_json = Some(json);
+            }
+        }
+        self.result.stored_bytes = self.stored_bytes;
+        self.result.wall_seconds = started.elapsed().as_secs_f64();
+        self.result.net = self.sim.stats();
+        self.result
     }
 
     fn do_insert(&mut self, addr: Addr, file_index: u32, name: &str, size: u64) {
@@ -228,69 +319,89 @@ impl Runner {
         buf.clear();
         self.sim.drain_upcalls_into(&mut buf);
         for (_, _, event) in buf.drain(..) {
-            match event {
-                PastEvent::ReplicaStored { size, diverted, .. } => {
-                    self.stored_bytes += size;
-                    self.replicas_now += 1;
-                    self.result.replicas_stored += 1;
-                    if diverted {
-                        self.diverted_now += 1;
-                        self.result.replicas_diverted += 1;
+            self.absorb_event(event, file_index);
+        }
+        self.upcall_buf = buf;
+    }
+
+    /// Open-loop drain: attributes each `InsertDone` to its trace file
+    /// via the issuing node's `(addr, seq)` recorded at injection time.
+    fn collect_pipelined(&mut self, pending: &mut std::collections::HashMap<(u32, u64), u32>) {
+        let mut buf = std::mem::take(&mut self.upcall_buf);
+        buf.clear();
+        self.sim.drain_upcalls_into(&mut buf);
+        for (_, addr, event) in buf.drain(..) {
+            let file_index = if let PastEvent::InsertDone { seq, .. } = &event {
+                pending.remove(&(addr.0, *seq))
+            } else {
+                None
+            };
+            self.absorb_event(event, file_index);
+        }
+        self.upcall_buf = buf;
+    }
+
+    fn absorb_event(&mut self, event: PastEvent, file_index: Option<u32>) {
+        match event {
+            PastEvent::ReplicaStored { size, diverted, .. } => {
+                self.stored_bytes += size;
+                self.replicas_now += 1;
+                self.result.replicas_stored += 1;
+                if diverted {
+                    self.diverted_now += 1;
+                    self.result.replicas_diverted += 1;
+                }
+            }
+            PastEvent::ReplicaDropped { size, diverted, .. } => {
+                self.stored_bytes = self.stored_bytes.saturating_sub(size);
+                self.replicas_now = self.replicas_now.saturating_sub(1);
+                self.result.replicas_stored = self.result.replicas_stored.saturating_sub(1);
+                if diverted {
+                    self.diverted_now = self.diverted_now.saturating_sub(1);
+                    self.result.replicas_diverted = self.result.replicas_diverted.saturating_sub(1);
+                }
+            }
+            PastEvent::InsertDone {
+                file_id,
+                size,
+                attempts,
+                success,
+                ..
+            } => {
+                if success {
+                    if let Some(idx) = file_index {
+                        self.file_ids.insert(idx, file_id);
                     }
                 }
-                PastEvent::ReplicaDropped { size, diverted, .. } => {
-                    self.stored_bytes = self.stored_bytes.saturating_sub(size);
-                    self.replicas_now = self.replicas_now.saturating_sub(1);
-                    self.result.replicas_stored = self.result.replicas_stored.saturating_sub(1);
-                    if diverted {
-                        self.diverted_now = self.diverted_now.saturating_sub(1);
-                        self.result.replicas_diverted =
-                            self.result.replicas_diverted.saturating_sub(1);
-                    }
-                }
-                PastEvent::InsertDone {
-                    file_id,
+                let utilization = self.utilization();
+                self.result.inserts.push(InsertRecord {
+                    utilization,
                     size,
                     attempts,
                     success,
-                    ..
-                } => {
-                    if success {
-                        if let Some(idx) = file_index {
-                            self.file_ids.insert(idx, file_id);
-                        }
-                    }
-                    let utilization = self.utilization();
-                    self.result.inserts.push(InsertRecord {
-                        utilization,
-                        size,
-                        attempts,
-                        success,
-                    });
-                    self.result.replica_samples.push(ReplicaSample {
-                        utilization,
-                        replicas: self.replicas_now,
-                        diverted: self.diverted_now,
-                    });
-                }
-                PastEvent::LookupDone {
-                    found, hops, kind, ..
-                } => {
-                    let utilization = self.utilization();
-                    self.result.lookups.push(LookupRecord {
-                        utilization,
-                        found,
-                        hops,
-                        cache_hit: is_cache_hit(kind),
-                    });
-                }
-                PastEvent::ReclaimDone { .. }
-                | PastEvent::InsertAttemptAborted { .. }
-                | PastEvent::MaintSkipped { .. }
-                | PastEvent::MaintExhausted { .. } => {}
+                });
+                self.result.replica_samples.push(ReplicaSample {
+                    utilization,
+                    replicas: self.replicas_now,
+                    diverted: self.diverted_now,
+                });
             }
+            PastEvent::LookupDone {
+                found, hops, kind, ..
+            } => {
+                let utilization = self.utilization();
+                self.result.lookups.push(LookupRecord {
+                    utilization,
+                    found,
+                    hops,
+                    cache_hit: is_cache_hit(kind),
+                });
+            }
+            PastEvent::ReclaimDone { .. }
+            | PastEvent::InsertAttemptAborted { .. }
+            | PastEvent::MaintSkipped { .. }
+            | PastEvent::MaintExhausted { .. } => {}
         }
-        self.upcall_buf = buf;
     }
 }
 

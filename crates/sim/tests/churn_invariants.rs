@@ -56,8 +56,7 @@ fn build_and_kill(acked: bool) -> (ChurnRunner, Vec<Vec<Addr>>, past_net::SimTim
         }
     }
     assert_eq!(victims.len(), 2, "need two non-client holders to kill");
-    let holders_before: Vec<Vec<Addr>> =
-        r.files().iter().map(|&(f, _)| r.holders_of(f)).collect();
+    let holders_before: Vec<Vec<Addr>> = r.files().iter().map(|&(f, _)| r.holders_of(f)).collect();
     let t0 = r.now();
     for &v in &victims {
         r.sim_mut().remove_node(v);
@@ -177,9 +176,9 @@ fn poisson_churn_with_acked_maintenance_keeps_files_available() {
         report.summary()
     );
     assert_eq!(
-        report.quota_used, report.quota_expected,
+        report.quota_used,
+        report.quota_expected,
         "quota not conserved: {}",
         report.summary()
     );
 }
-

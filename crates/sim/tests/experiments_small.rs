@@ -92,8 +92,7 @@ fn failures_concentrate_at_high_utilization_and_large_files() {
     // Failed files skew large: compare mean failed size to mean size.
     let failed = result.failure_scatter();
     if failed.len() >= 5 {
-        let mean_failed =
-            failed.iter().map(|(_, s)| *s).sum::<u64>() as f64 / failed.len() as f64;
+        let mean_failed = failed.iter().map(|(_, s)| *s).sum::<u64>() as f64 / failed.len() as f64;
         let mean_all = trace.mean_file_size();
         assert!(
             mean_failed > mean_all,
@@ -136,9 +135,7 @@ fn tpri_tradeoff_matches_table3_shape() {
 
 #[test]
 fn caching_improves_hops_over_no_caching() {
-    let trace = WebTraceConfig::default()
-        .with_unique_files(800)
-        .generate();
+    let trace = WebTraceConfig::default().with_unique_files(800).generate();
     let base = ExperimentConfig {
         nodes: 120,
         leaf_set_size: 16,

@@ -49,4 +49,32 @@ for w in report["workloads"]:
 print(f"perf smoke OK: {len(workloads)} workloads, JSON parseable")
 PY
 
+echo "== sharded-engine smoke (shards=1 vs shards=2 counter parity)"
+# The sharded engine's determinism contract: the same seed must produce
+# identical protocol and network counters at any shard count. Run the
+# reduced-scale suite on the sharded engine at 1 and 2 shards and fail
+# on any divergence in the counters a perf comparison would read.
+PAST_NODES=60 PAST_FILES=5000 PAST_SHARDS=1 PAST_OUT_DIR="$perf_out/s1" \
+  cargo run --release -q -p past-bench --bin perf_suite --offline
+PAST_NODES=60 PAST_FILES=5000 PAST_SHARDS=2 PAST_OUT_DIR="$perf_out/s2" \
+  cargo run --release -q -p past-bench --bin perf_suite --offline
+python3 - "$perf_out/s1/BENCH_perf.json" "$perf_out/s2/BENCH_perf.json" <<'PY'
+import json, sys
+KEYS = ("events", "delivered", "inserts_ok", "inserts_failed", "lookups", "lookups_ok")
+def counters(path):
+    report = json.load(open(path))
+    return {
+        (w["name"], w["scale"]): {k: w[k] for k in KEYS}
+        for w in report["workloads"]
+    }
+one, two = counters(sys.argv[1]), counters(sys.argv[2])
+assert one.keys() == two.keys(), f"workload sets differ: {one.keys() ^ two.keys()}"
+for wl in sorted(one):
+    if one[wl] != two[wl]:
+        raise AssertionError(
+            f"{wl}: counters diverge across shard counts\n  shards=1: {one[wl]}\n  shards=2: {two[wl]}"
+        )
+print(f"sharded smoke OK: {len(one)} workloads bit-identical at 1 vs 2 shards")
+PY
+
 echo "CI OK"
