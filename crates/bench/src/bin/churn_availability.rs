@@ -7,8 +7,16 @@
 //! k-copies invariant (the auditor's replication check). Results go to
 //! stdout, `results/churn_availability.csv`, and `BENCH_churn.json`.
 //!
-//! Environment knobs: `PAST_CHURN_NODES` (default 30) and
-//! `PAST_CHURN_FILES` (default 8).
+//! A second section compares **warm vs cold restarts** (same seed, same
+//! churn schedule, `warm_restart` toggled) at mtbf 900/300/60 s with no
+//! message loss: lookup success, time-to-rereplication, and maintenance
+//! bytes split into re-replication vs refresh traffic. It runs at a
+//! floor of 60 nodes / 24 files so replicas are sparse relative to the
+//! overlay (see the comment in `main`).
+//!
+//! Environment knobs: `PAST_CHURN_NODES` (default 30),
+//! `PAST_CHURN_FILES` (default 8), and `PAST_CHURN_SMOKE=1` to skip the
+//! grid and run only the warm-vs-cold pair at mtbf 60 s (the CI smoke).
 
 use std::io::Write as _;
 
@@ -29,6 +37,24 @@ struct Cell {
     maint_exhausted: u64,
     crashes: u64,
     lost: u64,
+}
+
+/// One warm-vs-cold comparison run (no message loss; the warm/cold pair
+/// shares a seed, so the churn schedule and workload are identical).
+struct WarmRow {
+    mtbf_s: u64,
+    warm: bool,
+    lookups: usize,
+    lookups_ok: usize,
+    rereplication_s: Option<f64>,
+    under_replicated: usize,
+    maint_sent: u64,
+    bytes_rereplication: u64,
+    bytes_refresh: u64,
+    restarts_warm: u64,
+    restarts_cold: u64,
+    crashes: u64,
+    downtime_mean_s: f64,
 }
 
 fn env_usize(name: &str, default: usize) -> usize {
@@ -106,17 +132,102 @@ fn run_cell(nodes: usize, files: usize, mtbf_s: u64, loss: f64) -> Cell {
     }
 }
 
+fn run_warm_cell(nodes: usize, files: usize, mtbf_s: u64, warm: bool) -> WarmRow {
+    let mut cfg = ChurnConfig {
+        nodes,
+        files,
+        // Same seed for the warm and cold halves of a pair: identical
+        // overlay, churn schedule and lookup workload — only the
+        // restart mode differs.
+        seed: 7000 + mtbf_s,
+        ..Default::default()
+    };
+    cfg.past.anti_entropy_period = SimDuration::from_secs(10);
+    cfg.past.warm_restart = warm;
+    cfg.pastry.warm_restart = warm;
+    cfg.pastry.track_reliability = warm;
+    let mut r = ChurnRunner::build(cfg);
+    let inserted = r.insert_files();
+    assert!(inserted > 0, "no insert succeeded before churn");
+
+    // 300 s churn window with 30 s mean downtime (well past the 15 s
+    // failure detector, so every outage is noticed). The long window is
+    // what separates the restart modes: at mtbf 60 s nearly every node
+    // crashes at least once, and a cold restart permanently loses its
+    // background-sweep timers while a warm one re-arms them. 10 s head
+    // start, 120 lookups spaced 2 s apart inside the window, 50 s tail.
+    let churn_span = SimDuration::from_secs(300);
+    let plan = r.poisson_plan(
+        SimDuration::from_secs(mtbf_s),
+        SimDuration::from_secs(30),
+        churn_span,
+    );
+    r.run_with_faults(plan, SimDuration::from_secs(10));
+    r.lookup_round(120, SimDuration::from_secs(2));
+    r.run_for(SimDuration::from_secs(50));
+    let (lookups, lookups_ok) = r.lookup_totals();
+
+    r.run_with_faults(FaultPlan::new(), SimDuration::ZERO);
+    let repaired =
+        r.time_to_full_replication(SimDuration::from_secs(1), SimDuration::from_secs(300));
+    r.heal(SimDuration::from_secs(10));
+    let report = r.audit();
+    let maint = r.maint_totals();
+    let net = r.net_stats();
+    let (restarts_warm, restarts_cold) = r.restart_totals();
+    let downtime_mean_s = r
+        .downtime_summary()
+        .map(|(_, mean_us, _)| mean_us as f64 / 1e6)
+        .unwrap_or(0.0);
+    WarmRow {
+        mtbf_s,
+        warm,
+        lookups,
+        lookups_ok,
+        rereplication_s: repaired.map(|d| d.micros() as f64 / 1e6),
+        under_replicated: report.under_replicated.len(),
+        maint_sent: maint.sent,
+        bytes_rereplication: maint.bytes_rereplication,
+        bytes_refresh: maint.bytes_refresh,
+        restarts_warm,
+        restarts_cold,
+        crashes: net.crashes,
+        downtime_mean_s,
+    }
+}
+
 fn main() {
     let nodes = env_usize("PAST_CHURN_NODES", 30);
     let files = env_usize("PAST_CHURN_FILES", 8);
+    let smoke = env_usize("PAST_CHURN_SMOKE", 0) != 0;
     let mtbfs = [240u64, 120, 60];
     let losses = [0.0f64, 0.05, 0.1];
 
     let mut cells = Vec::new();
-    for &mtbf in &mtbfs {
-        for &loss in &losses {
-            eprintln!("churn cell: mtbf={mtbf}s loss={loss} ...");
-            cells.push(run_cell(nodes, files, mtbf, loss));
+    if !smoke {
+        for &mtbf in &mtbfs {
+            for &loss in &losses {
+                eprintln!("churn cell: mtbf={mtbf}s loss={loss} ...");
+                cells.push(run_cell(nodes, files, mtbf, loss));
+            }
+        }
+    }
+
+    // The warm-vs-cold section runs at a larger scale than the grid
+    // (floor of 60 nodes / 24 files): with 30 nodes and 8 files almost
+    // every node holds a copy of every file (k = 5 replicas plus
+    // caches), so lookups succeed regardless of restart mode and the
+    // comparison degenerates into a tie. Sparser replicas expose the
+    // root-miss windows that warm restarts close.
+    let warm_nodes = nodes.max(60);
+    let warm_files = files.max(24);
+    let warm_mtbfs: &[u64] = if smoke { &[60] } else { &[900, 300, 60] };
+    let mut warm_rows = Vec::new();
+    for &mtbf in warm_mtbfs {
+        for &warm in &[false, true] {
+            let mode = if warm { "warm" } else { "cold" };
+            eprintln!("warm-vs-cold: mtbf={mtbf}s mode={mode} ...");
+            warm_rows.push(run_warm_cell(warm_nodes, warm_files, mtbf, warm));
         }
     }
 
@@ -157,11 +268,53 @@ fn main() {
     print_table("Availability under churn", &header, &rows);
     write_csv("churn_availability", &header, &rows);
 
+    let warm_header: Vec<String> = [
+        "mtbf (s)",
+        "mode",
+        "lookup ok",
+        "rereplication (s)",
+        "under-rep",
+        "maint sent",
+        "rerepl bytes",
+        "refresh bytes",
+        "restarts w/c",
+        "crashes",
+        "downtime mean (s)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let warm_table: Vec<Vec<String>> = warm_rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.mtbf_s.to_string(),
+                if r.warm { "warm" } else { "cold" }.to_string(),
+                format!("{}/{}", r.lookups_ok, r.lookups),
+                r.rereplication_s
+                    .map(|s| format!("{s:.1}"))
+                    .unwrap_or_else(|| "timeout".into()),
+                r.under_replicated.to_string(),
+                r.maint_sent.to_string(),
+                r.bytes_rereplication.to_string(),
+                r.bytes_refresh.to_string(),
+                format!("{}/{}", r.restarts_warm, r.restarts_cold),
+                r.crashes.to_string(),
+                format!("{:.1}", r.downtime_mean_s),
+            ]
+        })
+        .collect();
+    print_table("Warm vs cold restarts", &warm_header, &warm_table);
+    write_csv("churn_warm_vs_cold", &warm_header, &warm_table);
+
     // Hand-rolled JSON (the workspace has no serde): one object per
     // grid cell, machine-readable for downstream tooling.
     let mut json = String::new();
     json.push_str("{\n  \"bench\": \"churn_availability\",\n");
     json.push_str(&format!("  \"nodes\": {nodes},\n  \"files\": {files},\n"));
+    json.push_str(&format!(
+        "  \"warm_nodes\": {warm_nodes},\n  \"warm_files\": {warm_files},\n"
+    ));
     json.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let rate = if c.lookups > 0 {
@@ -189,6 +342,38 @@ fn main() {
             c.crashes,
             c.lost,
             if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ],\n  \"warm_vs_cold\": [\n");
+    for (i, r) in warm_rows.iter().enumerate() {
+        let rate = if r.lookups > 0 {
+            r.lookups_ok as f64 / r.lookups as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"mtbf_s\": {}, \"warm_restart\": {}, \"lookups\": {}, \
+             \"lookup_success_rate\": {:.4}, \"time_to_rereplication_s\": {}, \
+             \"under_replicated_after_heal\": {}, \"maint_sent\": {}, \
+             \"maint_bytes_rereplication\": {}, \"maint_bytes_refresh\": {}, \
+             \"restarts_warm\": {}, \"restarts_cold\": {}, \
+             \"crashes\": {}, \"downtime_mean_s\": {:.1}}}{}\n",
+            r.mtbf_s,
+            r.warm,
+            r.lookups,
+            rate,
+            r.rereplication_s
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_else(|| "null".into()),
+            r.under_replicated,
+            r.maint_sent,
+            r.bytes_rereplication,
+            r.bytes_refresh,
+            r.restarts_warm,
+            r.restarts_cold,
+            r.crashes,
+            r.downtime_mean_s,
+            if i + 1 == warm_rows.len() { "" } else { "," },
         ));
     }
     json.push_str("  ]\n}\n");

@@ -59,6 +59,17 @@ pub struct PastConfig {
     pub anti_entropy_period: SimDuration,
     /// Maximum primaries re-audited per anti-entropy sweep.
     pub anti_entropy_batch: usize,
+    /// Warm-restart mode for the storage layer: the application payload
+    /// of the Pastry snapshot carries the node's file inventory and
+    /// quota ledger; on recovery the node validates it against its
+    /// store and re-advertises its replicas to the current coordinator
+    /// (cheap certificates instead of full re-replication), and the
+    /// anti-entropy sweep switches from re-shipping whole replicas to
+    /// advertise-then-fetch. Also enables deterministic over-replication
+    /// reconciliation (the farthest holder drops). Off by default so
+    /// legacy runs stay byte-identical; pair with
+    /// `PastryConfig::warm_restart`.
+    pub warm_restart: bool,
 }
 
 impl Default for PastConfig {
@@ -77,6 +88,7 @@ impl Default for PastConfig {
             maint_retry_budget: 5,
             anti_entropy_period: SimDuration::ZERO,
             anti_entropy_batch: 8,
+            warm_restart: false,
         }
     }
 }

@@ -190,6 +190,12 @@ impl PastNode {
     /// maximal known remaining free space. Nodes with unknown free space
     /// are tried optimistically. Different replica holders de-collide by
     /// offsetting their pick with their rank in the replica set.
+    ///
+    /// With `track_reliability` on, the ordering becomes free space ×
+    /// decayed peer reliability, so both insert-time diversions and the
+    /// §3.5 maintenance re-creations (which reuse this chooser with no
+    /// coordinator) prefer targets that have been answering their
+    /// maintenance acks.
     pub(crate) fn pick_diversion_target(
         &self,
         ctx: &mut PCtx<'_, '_>,
@@ -209,9 +215,19 @@ impl PastNode {
             return None;
         }
         // Sort by known free space, descending; unknown is optimistic.
-        eligible.sort_by_key(|m| {
-            std::cmp::Reverse(self.free_info.get(&m.id).copied().unwrap_or(u64::MAX))
-        });
+        // Under reliability tracking the key is free × reliability (u128:
+        // the optimistic u64::MAX times 1000 milli-units must not wrap).
+        if ctx.config().track_reliability {
+            eligible.sort_by_key(|m| {
+                let free = self.free_info.get(&m.id).copied().unwrap_or(u64::MAX);
+                let rel = ctx.reliability_milli(m.id);
+                std::cmp::Reverse((free as u128) * (rel as u128))
+            });
+        } else {
+            eligible.sort_by_key(|m| {
+                std::cmp::Reverse(self.free_info.get(&m.id).copied().unwrap_or(u64::MAX))
+            });
+        }
         let rank = candidates
             .iter()
             .position(|c| c.id == own.id)

@@ -59,9 +59,32 @@ impl PastNode {
         ctx.set_app_timer(self.cfg.maint_ack_timeout, MAINT_RETRY_BASE + seq);
     }
 
+    /// Accounts maintenance payload bytes by class. The struct counters
+    /// always run (plain integers, invisible to legacy metrics); the
+    /// obs counters are emitted only in warm-restart mode so existing
+    /// metrics reports stay byte-identical.
+    pub(crate) fn count_maint_bytes(&mut self, bytes: u64, refresh: bool) {
+        if refresh {
+            self.maint_stats.bytes_refresh += bytes;
+        } else {
+            self.maint_stats.bytes_rereplication += bytes;
+        }
+        if self.cfg.warm_restart && past_obs::is_enabled() {
+            past_obs::counter(
+                if refresh {
+                    "maint.bytes.refresh"
+                } else {
+                    "maint.bytes.rereplication"
+                },
+                bytes,
+            );
+        }
+    }
+
     /// The receiver acknowledged maintenance message `seq`.
     pub(crate) fn on_maint_ack(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64) {
-        if self.maint_pending.remove(&seq).is_some() {
+        if let Some(done) = self.maint_pending.remove(&seq) {
+            ctx.record_peer_success(done.to.id);
             self.maint_stats.acked += 1;
             if past_obs::is_enabled() {
                 past_obs::counter("maint.acked", 1);
@@ -83,6 +106,7 @@ impl PastNode {
         };
         if entry.attempts >= self.cfg.maint_retry_budget {
             let entry = self.maint_pending.remove(&seq).expect("present");
+            ctx.record_peer_failure(entry.to.id);
             self.maint_stats.exhausted += 1;
             if past_obs::is_enabled() {
                 past_obs::counter("maint.exhausted", 1);
@@ -101,6 +125,8 @@ impl PastNode {
         entry.backoff = entry.backoff + entry.backoff;
         let (to, kind, backoff, attempts) =
             (entry.to, entry.kind.clone(), entry.backoff, entry.attempts);
+        // A missed ack is a (decaying) strike against the receiver.
+        ctx.record_peer_failure(to.id);
         self.maint_stats.retries += 1;
         if past_obs::is_enabled() {
             past_obs::counter("maint.retry", 1);
@@ -198,6 +224,7 @@ impl PastNode {
         }
         to_restore.sort_by_key(|(_, cert)| cert.file_id);
         for (node, cert) in to_restore {
+            self.count_maint_bytes(cert.file_size, false);
             self.send_maint(ctx, node, MsgKind::ReplicaTransfer { cert });
         }
         // (b) A→B pointers whose holder B failed: the diverted replica is
@@ -274,15 +301,19 @@ impl PastNode {
     }
 
     /// A replica holder receives a request for a file's content (a newly
-    /// responsible node pulling its copy).
+    /// responsible node pulling its copy). `refresh` classifies the
+    /// shipped bytes: a fetch answering an anti-entropy advertisement
+    /// refreshes a copy, a migration pull restores one.
     pub(crate) fn on_fetch_replica(
         &mut self,
         ctx: &mut PCtx<'_, '_>,
         from: NodeEntry,
         file_id: FileId,
+        refresh: bool,
     ) {
         if let Some(replica) = self.store.replica(file_id) {
             let cert = replica.cert.clone();
+            self.count_maint_bytes(cert.file_size, refresh);
             self.send_maint(ctx, from, MsgKind::ReplicaTransfer { cert });
         }
     }
@@ -299,6 +330,20 @@ impl PastNode {
     ) {
         let file_id = cert.file_id;
         if self.store.holds_replica(file_id) {
+            // Already held — but the sender believing it should ship us a
+            // copy can itself be stale: a node that cold-rejoined after
+            // the replica set moved on keeps re-creating a k+1-th copy.
+            // In warm-restart mode, reconcile deterministically: a sender
+            // outside the current replica set (i.e. farther than every
+            // candidate) is told to drop; its own `on_migration_done`
+            // re-checks standing before doing so.
+            if self.cfg.warm_restart {
+                let k = self.cfg.k as usize;
+                let candidates = ctx.replica_candidates(file_id.as_key(), k);
+                if !candidates.iter().any(|c| c.id == from.id) {
+                    self.send_to(ctx, from, MsgKind::MigrationDone { file_id });
+                }
+            }
             return;
         }
         let size = cert.file_size;
@@ -355,7 +400,14 @@ impl PastNode {
             }
             // Only migrate files this node should hold itself.
             if ctx.is_among_k_closest(file_id.as_key(), self.cfg.k as usize) {
-                self.send_maint(ctx, holder, MsgKind::FetchReplica { file_id });
+                self.send_maint(
+                    ctx,
+                    holder,
+                    MsgKind::FetchReplica {
+                        file_id,
+                        refresh: false,
+                    },
+                );
                 migrated += 1;
             }
         }
@@ -409,10 +461,69 @@ impl PastNode {
                 None => continue,
             };
             for node in ctx.replica_candidates(file_id.as_key(), k) {
-                if node.id != own.id {
+                if node.id == own.id {
+                    continue;
+                }
+                if self.cfg.warm_restart {
+                    // Advertise-then-fetch: ship the certificate, not
+                    // the file. Receivers that miss the replica pull it
+                    // (`FetchReplica { refresh: true }`); receivers that
+                    // hold it reconcile over-replication instead of
+                    // absorbing a redundant full copy.
+                    self.send_maint(
+                        ctx,
+                        node,
+                        MsgKind::ReplicaAdvertise {
+                            cert: cert.clone(),
+                            holder: own,
+                        },
+                    );
+                } else {
+                    self.count_maint_bytes(cert.file_size, true);
                     self.send_maint(ctx, node, MsgKind::ReplicaTransfer { cert: cert.clone() });
                 }
             }
+        }
+    }
+
+    /// A holder advertised a replica (warm-restart mode: on recovery,
+    /// routed toward the fileId; during anti-entropy, sent directly to
+    /// the replica set). Cheap reconciliation in both directions: a
+    /// receiver missing the file pulls it from the advertiser, a
+    /// receiver holding it tells an advertiser that fell out of the
+    /// replica set to drop. Never installs pointers — the invariant
+    /// audit counts pointers as copies, so an advertisement must not
+    /// mint one.
+    pub(crate) fn on_replica_advertise(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        cert: SharedFileCert,
+        holder: NodeEntry,
+    ) {
+        let file_id = cert.file_id;
+        let own = ctx.own();
+        if holder.id == own.id {
+            return;
+        }
+        let k = self.cfg.k as usize;
+        if !self.store.holds_replica(file_id) {
+            // Only pull content this node is actually responsible for,
+            // and only under a valid certificate.
+            if ctx.is_among_k_closest(file_id.as_key(), k) && self.cert_ok(&cert) {
+                self.send_maint(
+                    ctx,
+                    holder,
+                    MsgKind::FetchReplica {
+                        file_id,
+                        refresh: true,
+                    },
+                );
+            }
+            return;
+        }
+        let candidates = ctx.replica_candidates(file_id.as_key(), k);
+        if !candidates.iter().any(|c| c.id == holder.id) {
+            self.send_to(ctx, holder, MsgKind::MigrationDone { file_id });
         }
     }
 }

@@ -201,6 +201,24 @@ pub enum MsgKind {
     FetchReplica {
         /// File concerned.
         file_id: FileId,
+        /// Whether this fetch refreshes a copy the anti-entropy sweep
+        /// advertised (accounted as refresh bytes) rather than restores
+        /// a lost replica (re-replication bytes).
+        refresh: bool,
+    },
+    /// Replica holder → replica set: "I hold this file" — the cheap
+    /// (certificate-sized) alternative to shipping the whole replica.
+    /// Sent routed toward the fileId by a warm-restarted node so it
+    /// converges on the current coordinator, and directly by the
+    /// anti-entropy sweep in warm-restart mode. A receiver missing the
+    /// replica fetches it; a receiver that holds it and judges the
+    /// advertiser outside the k closest answers `MigrationDone` so the
+    /// farthest holder drops (over-replication reconciliation).
+    ReplicaAdvertise {
+        /// The file certificate.
+        cert: SharedFileCert,
+        /// The advertising holder.
+        holder: NodeEntry,
     },
     /// Replica holder → new responsible node: the file (as its
     /// certificate).
@@ -216,7 +234,8 @@ pub enum MsgKind {
     },
     /// Reliable-delivery envelope for maintenance traffic
     /// (`ReplicaTransfer`, `InstallPointer`, `FetchReplica`,
-    /// `Discard`): the sender retransmits `inner` with exponential
+    /// `ReplicaAdvertise`, `Discard`): the sender retransmits `inner`
+    /// with exponential
     /// backoff until a matching [`MsgKind::MaintAck`] arrives or its
     /// retry budget is exhausted.
     MaintSeq {
@@ -239,9 +258,10 @@ impl MsgKind {
         match self {
             MsgKind::InstallPointer { file_id, .. }
             | MsgKind::Discard { file_id }
-            | MsgKind::FetchReplica { file_id }
+            | MsgKind::FetchReplica { file_id, .. }
             | MsgKind::MigrationDone { file_id } => Some(*file_id),
             MsgKind::ReplicaTransfer { cert } => Some(cert.file_id),
+            MsgKind::ReplicaAdvertise { cert, .. } => Some(cert.file_id),
             MsgKind::MaintSeq { inner, .. } => inner.maint_file_id(),
             _ => None,
         }

@@ -91,6 +91,14 @@ pub struct MaintStats {
     pub acked: u64,
     /// Messages abandoned after the retry budget ran out.
     pub exhausted: u64,
+    /// File bytes shipped to restore a lost replica (failure recovery
+    /// and migration pulls). First transmissions only; retries are
+    /// visible through `retries`.
+    pub bytes_rereplication: u64,
+    /// File bytes re-shipped by the anti-entropy sweep to refresh
+    /// copies the receiver may already hold (including fetches answered
+    /// for a warm-restart advertisement).
+    pub bytes_refresh: u64,
 }
 
 /// An unacknowledged reliable maintenance message.
@@ -545,6 +553,69 @@ impl PastNode {
             }
         }
     }
+
+    /// Encodes the storage inventory carried in the warm-restart
+    /// snapshot's application payload: the primary file table (id and
+    /// size), the diversion-pointer ids, and the quota ledger's used
+    /// bytes. Little-endian, count-prefixed; sorted so same-seed runs
+    /// snapshot identical bytes regardless of hash-map order.
+    pub(crate) fn encode_inventory(&self) -> Vec<u8> {
+        let mut primaries: Vec<(FileId, u64)> = self
+            .store
+            .primaries()
+            .map(|(id, r)| (*id, r.size()))
+            .collect();
+        primaries.sort_by_key(|(id, _)| *id);
+        let mut pointers: Vec<FileId> = self.store.pointers().map(|(id, _)| *id).collect();
+        pointers.sort();
+        let mut out = Vec::with_capacity(16 + primaries.len() * 28 + pointers.len() * 20);
+        out.extend_from_slice(&(primaries.len() as u32).to_le_bytes());
+        for (id, size) in &primaries {
+            out.extend_from_slice(id.as_bytes());
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        out.extend_from_slice(&(pointers.len() as u32).to_le_bytes());
+        for id in &pointers {
+            out.extend_from_slice(id.as_bytes());
+        }
+        out.extend_from_slice(&self.quota.used().to_le_bytes());
+        out
+    }
+
+    /// Decodes [`Self::encode_inventory`]'s primary file table. Returns
+    /// `None` on any framing violation — a corrupt payload is treated
+    /// as "no inventory", never trusted partially.
+    pub(crate) fn decode_inventory(payload: &[u8]) -> Option<Vec<(FileId, u64)>> {
+        fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+            if buf.len() < n {
+                return None;
+            }
+            let (head, rest) = buf.split_at(n);
+            *buf = rest;
+            Some(head)
+        }
+        fn u32le(buf: &mut &[u8]) -> Option<u32> {
+            take(buf, 4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+        }
+        fn u64le(buf: &mut &[u8]) -> Option<u64> {
+            take(buf, 8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+        }
+        let mut buf = payload;
+        let n = u32le(&mut buf)? as usize;
+        let mut primaries = Vec::with_capacity(n.min(1024));
+        for _ in 0..n {
+            let id = FileId::from_bytes(take(&mut buf, 20)?.try_into().expect("20 bytes"));
+            let size = u64le(&mut buf)?;
+            primaries.push((id, size));
+        }
+        let pointers = u32le(&mut buf)? as usize;
+        take(&mut buf, pointers.checked_mul(20)?)?;
+        u64le(&mut buf)?; // Quota used (informational).
+        if !buf.is_empty() {
+            return None;
+        }
+        Some(primaries)
+    }
 }
 
 impl Application for PastNode {
@@ -571,6 +642,12 @@ impl Application for PastNode {
             MsgKind::Reclaim { req, cert } => {
                 self.note_free(ctx, req.client.id, msg.free);
                 self.coordinate_reclaim(ctx, req, cert);
+            }
+            MsgKind::ReplicaAdvertise { cert, holder } => {
+                // Routed by a warm-restarted holder toward the fileId so
+                // it converges on the current responsible node.
+                self.note_free(ctx, holder.id, msg.free);
+                self.on_replica_advertise(ctx, cert, holder);
             }
             other => {
                 // Direct message kinds are never routed; receiving one
@@ -724,7 +801,12 @@ impl Application for PastNode {
                 ok,
                 freed,
             } => self.on_reclaim_reply(ctx, req, file_id, ok, freed),
-            MsgKind::FetchReplica { file_id } => self.on_fetch_replica(ctx, from, file_id),
+            MsgKind::FetchReplica { file_id, refresh } => {
+                self.on_fetch_replica(ctx, from, file_id, refresh)
+            }
+            MsgKind::ReplicaAdvertise { cert, holder } => {
+                self.on_replica_advertise(ctx, cert, holder)
+            }
             MsgKind::ReplicaTransfer { cert } => self.on_replica_transfer(ctx, from, cert),
             MsgKind::MigrationDone { file_id } => self.on_migration_done(ctx, file_id),
             MsgKind::MaintSeq { seq, inner } => {
@@ -739,8 +821,11 @@ impl Application for PastNode {
                         cert,
                     } => self.on_install_pointer(from, file_id, holder, backup, cert),
                     MsgKind::Discard { file_id } => self.on_discard(ctx, file_id),
-                    MsgKind::FetchReplica { file_id } => {
-                        self.on_fetch_replica(ctx, from, file_id)
+                    MsgKind::FetchReplica { file_id, refresh } => {
+                        self.on_fetch_replica(ctx, from, file_id, refresh)
+                    }
+                    MsgKind::ReplicaAdvertise { cert, holder } => {
+                        self.on_replica_advertise(ctx, cert, holder)
                     }
                     MsgKind::ReplicaTransfer { cert } => {
                         self.on_replica_transfer(ctx, from, cert)
@@ -763,6 +848,42 @@ impl Application for PastNode {
         }
         if self.cfg.anti_entropy_period.micros() > 0 {
             ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
+        }
+    }
+
+    fn snapshot(&self) -> Vec<u8> {
+        self.encode_inventory()
+    }
+
+    fn on_restore(&mut self, ctx: &mut PCtx<'_, '_>, payload: &[u8]) {
+        if !self.cfg.warm_restart {
+            return;
+        }
+        // The periodic sweeps' timer chains broke while the node was
+        // down (timers addressed to a down node are discarded); re-arm
+        // them so a warm-restarted node resumes background repair.
+        if self.cfg.migration_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.migration_period, MIGRATION_TOKEN);
+        }
+        if self.cfg.anti_entropy_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
+        }
+        let inventory = match Self::decode_inventory(payload) {
+            Some(v) => v,
+            None => return,
+        };
+        let own = ctx.own();
+        for (file_id, size) in inventory {
+            // Validated, not trusted: only files the store ("disk")
+            // actually holds at the recorded size are re-advertised —
+            // with the cheap certificate-sized message, routed so it
+            // converges on the file's current responsible node.
+            let cert = match self.store.replica(file_id) {
+                Some(r) if r.size() == size => r.cert.clone(),
+                _ => continue,
+            };
+            let m = self.msg(MsgKind::ReplicaAdvertise { cert, holder: own });
+            ctx.route(file_id.as_key(), m);
         }
     }
 
@@ -790,5 +911,60 @@ impl Application for PastNode {
         } else if token >= TIMEOUT_BASE {
             self.on_timeout(ctx, token - TIMEOUT_BASE);
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fid(n: u8) -> FileId {
+        FileId::from_bytes([n; 20])
+    }
+
+    fn encode(primaries: &[(FileId, u64)], pointers: &[FileId], quota_used: u64) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&(primaries.len() as u32).to_le_bytes());
+        for (id, size) in primaries {
+            out.extend_from_slice(id.as_bytes());
+            out.extend_from_slice(&size.to_le_bytes());
+        }
+        out.extend_from_slice(&(pointers.len() as u32).to_le_bytes());
+        for id in pointers {
+            out.extend_from_slice(id.as_bytes());
+        }
+        out.extend_from_slice(&quota_used.to_le_bytes());
+        out
+    }
+
+    #[test]
+    fn inventory_roundtrip() {
+        let primaries = vec![(fid(1), 100u64), (fid(2), 2_000_000)];
+        let payload = encode(&primaries, &[fid(9)], 777);
+        assert_eq!(PastNode::decode_inventory(&payload), Some(primaries));
+
+        let empty = encode(&[], &[], 0);
+        assert_eq!(PastNode::decode_inventory(&empty), Some(vec![]));
+    }
+
+    #[test]
+    fn inventory_rejects_malformed_payloads() {
+        let payload = encode(&[(fid(3), 42)], &[], 5);
+        // Truncations at every prefix length fail closed.
+        for cut in 0..payload.len() {
+            assert_eq!(
+                PastNode::decode_inventory(&payload[..cut]),
+                None,
+                "truncated at {cut}"
+            );
+        }
+        // Trailing garbage is rejected, not ignored.
+        let mut long = payload.clone();
+        long.push(0);
+        assert_eq!(PastNode::decode_inventory(&long), None);
+        // An overflowing pointer count must not panic.
+        let mut bogus = encode(&[], &[], 0);
+        bogus[4..8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(PastNode::decode_inventory(&bogus), None);
     }
 }

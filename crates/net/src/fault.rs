@@ -91,6 +91,11 @@ pub struct FaultPlan {
     partitions: Vec<Partition>,
     link_loss: Vec<LinkLoss>,
     jitter: SimDuration,
+    /// Downtime duration of every crash→recover pair the plan contains
+    /// (restart_at and poisson_churn record them; manually paired
+    /// crash_at/recover_at calls do not). Harnesses read these to
+    /// report downtime distributions.
+    downtimes: Vec<(Addr, SimDuration)>,
 }
 
 impl FaultPlan {
@@ -109,6 +114,18 @@ impl FaultPlan {
     /// Schedules a recovery of `addr` at `t`.
     pub fn recover_at(mut self, t: SimTime, addr: Addr) -> Self {
         self.schedule.push((t, NodeFault::Recover(addr)));
+        self
+    }
+
+    /// Schedules a restart: a crash of `addr` at `t` paired with a
+    /// recovery `down_for` later, recorded in the plan's downtime
+    /// distribution. With `down_for` zero both faults land on the same
+    /// timestamp; the crash still applies first (ties keep insertion
+    /// order), so the node bounces.
+    pub fn restart_at(mut self, t: SimTime, addr: Addr, down_for: SimDuration) -> Self {
+        self.schedule.push((t, NodeFault::Crash(addr)));
+        self.schedule.push((t + down_for, NodeFault::Recover(addr)));
+        self.downtimes.push((addr, down_for));
         self
     }
 
@@ -160,6 +177,7 @@ impl FaultPlan {
                 let down = exp_sample(&mut rng, mean_downtime);
                 let up_at = t + down;
                 self.schedule.push((up_at, NodeFault::Recover(addr)));
+                self.downtimes.push((addr, down));
                 t = up_at + exp_sample(&mut rng, mtbf);
             }
         }
@@ -178,6 +196,12 @@ impl FaultPlan {
     /// The configured partitions.
     pub fn partitions(&self) -> &[Partition] {
         &self.partitions
+    }
+
+    /// Downtime durations of the plan's recorded crash→recover pairs,
+    /// in generation order.
+    pub fn downtimes(&self) -> &[(Addr, SimDuration)] {
+        &self.downtimes
     }
 
     /// Maximum per-message jitter.
@@ -281,6 +305,78 @@ mod tests {
             .count();
         let recoveries = a.len() - crashes;
         assert_eq!(crashes, recoveries, "every crash pairs with a recovery");
+    }
+
+    #[test]
+    fn restart_at_pairs_and_records_downtime() {
+        let plan = FaultPlan::new()
+            .restart_at(SimTime(100), Addr(4), SimDuration::from_secs(3))
+            .restart_at(SimTime(50), Addr(2), SimDuration::ZERO);
+        assert_eq!(
+            plan.schedule(),
+            vec![
+                (SimTime(50), NodeFault::Crash(Addr(2))),
+                (SimTime(50), NodeFault::Recover(Addr(2))),
+                (SimTime(100), NodeFault::Crash(Addr(4))),
+                (SimTime(3_000_100), NodeFault::Recover(Addr(4))),
+            ]
+        );
+        assert_eq!(
+            plan.downtimes(),
+            &[
+                (Addr(4), SimDuration::from_secs(3)),
+                (Addr(2), SimDuration::ZERO),
+            ]
+        );
+    }
+
+    #[test]
+    fn crash_recover_tie_keeps_crash_first() {
+        // Same timestamp, opposite insertion orders: the sort is stable,
+        // so whichever fault was *scheduled* first applies first. A
+        // restart_at always schedules crash before recover, so a
+        // zero-downtime restart bounces rather than no-ops.
+        let bounce = FaultPlan::new().restart_at(SimTime(7), Addr(1), SimDuration::ZERO);
+        assert_eq!(
+            bounce.schedule(),
+            vec![
+                (SimTime(7), NodeFault::Crash(Addr(1))),
+                (SimTime(7), NodeFault::Recover(Addr(1))),
+            ]
+        );
+        let reversed = FaultPlan::new()
+            .recover_at(SimTime(7), Addr(1))
+            .crash_at(SimTime(7), Addr(1));
+        assert_eq!(
+            reversed.schedule(),
+            vec![
+                (SimTime(7), NodeFault::Recover(Addr(1))),
+                (SimTime(7), NodeFault::Crash(Addr(1))),
+            ]
+        );
+    }
+
+    #[test]
+    fn poisson_churn_records_downtimes() {
+        let nodes: Vec<Addr> = (0..8).map(Addr).collect();
+        let plan = FaultPlan::new().poisson_churn(
+            7,
+            &nodes,
+            SimDuration::from_secs(100),
+            SimDuration::from_secs(10),
+            SimTime::ZERO,
+            SimTime(600_000_000),
+        );
+        let crashes = plan
+            .schedule()
+            .iter()
+            .filter(|(_, f)| matches!(f, NodeFault::Crash(_)))
+            .count();
+        assert_eq!(
+            plan.downtimes().len(),
+            crashes,
+            "every generated crash records its downtime"
+        );
     }
 
     #[test]

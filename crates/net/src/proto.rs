@@ -37,6 +37,15 @@ pub trait Protocol: Sized {
         let _ = (ctx, token);
     }
 
+    /// Invoked when the node crashes (scheduled fault or harness call).
+    /// Deliberately context-free: a crashing node cannot send messages,
+    /// arm timers, or draw randomness — which also makes the hook
+    /// trivially invariant across shard counts. Protocols use it to
+    /// capture a "persisted to disk" snapshot for warm restarts.
+    fn on_crash(&mut self, now: SimTime) {
+        let _ = now;
+    }
+
     /// Invoked when a previously failed node comes back online.
     /// Defaults to [`Protocol::on_start`].
     fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {

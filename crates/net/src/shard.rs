@@ -222,11 +222,19 @@ impl<P: Protocol> ShardCore<P> {
     }
 
     pub(crate) fn fail_node(&mut self, addr: Addr) {
+        let now = self.time;
         if let Some(s) = self
             .slots
             .get_mut(addr.index() / self.shards)
             .and_then(|s| s.as_mut())
         {
+            if s.up {
+                if let Some(proto) = s.proto.as_mut() {
+                    // Context-free by design, so the hook cannot observe
+                    // shard boundaries (no sends, timers, or RNG draws).
+                    proto.on_crash(now);
+                }
+            }
             s.up = false;
         }
     }

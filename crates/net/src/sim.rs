@@ -226,9 +226,17 @@ impl<P: Protocol> Simulator<P> {
     }
 
     /// Marks a node as failed: pending and future messages/timers for it
-    /// are dropped, but its state (disk contents) is retained.
+    /// are dropped, but its state (disk contents) is retained. The
+    /// protocol's context-free [`Protocol::on_crash`] hook runs once per
+    /// up→down transition (e.g. to snapshot state for a warm restart).
     pub fn fail_node(&mut self, addr: Addr) {
+        let now = self.time;
         if let Some(slot) = self.nodes.get_mut(addr.index()) {
+            if slot.up {
+                if let Some(proto) = slot.proto.as_mut() {
+                    proto.on_crash(now);
+                }
+            }
             slot.up = false;
         }
     }

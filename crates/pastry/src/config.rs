@@ -40,6 +40,25 @@ pub struct PastryConfig {
     /// How long a forwarding node waits for the next hop's receipt
     /// acknowledgment before presuming it failed.
     pub forward_ack_timeout: SimDuration,
+    /// Warm restarts: on crash the node captures a state snapshot
+    /// (leaf set, routing table, neighborhood, peer scores, application
+    /// payload) and on recovery restores from it — replaying every
+    /// entry through the normal validation paths — instead of rejoining
+    /// cold. Off by default so legacy runs stay byte-identical.
+    pub warm_restart: bool,
+    /// Per-peer reliability tracking: score peers on acks/timeouts and
+    /// maintenance outcomes, and let the application weight placement
+    /// decisions by reliability. Off by default (byte-identical runs).
+    pub track_reliability: bool,
+    /// Half-life of the exponential reliability decay: after this long
+    /// without evidence, a score has moved half way back to the
+    /// uninformed prior. Zero disables decay.
+    pub reliability_half_life: SimDuration,
+    /// Warm-restart reconnection fan-out: on recovery, probe at most
+    /// this many restored peers (highest reliability first) instead of
+    /// the whole leaf set. Zero means "no bound" (probe every restored
+    /// leaf member, like a cold recovery does).
+    pub restart_probe_fanout: usize,
 }
 
 impl Default for PastryConfig {
@@ -54,6 +73,10 @@ impl Default for PastryConfig {
             best_hop_bias: 0.9,
             per_hop_acks: false,
             forward_ack_timeout: SimDuration::from_millis(500),
+            warm_restart: false,
+            track_reliability: false,
+            reliability_half_life: SimDuration::from_secs(300),
+            restart_probe_fanout: 8,
         }
     }
 }
@@ -94,6 +117,10 @@ mod tests {
         assert_eq!(c.b, 4);
         assert_eq!(c.leaf_set_size, 32);
         assert_eq!(c.leaf_half(), 16);
+        // Robustness extensions ship disabled: default runs must stay
+        // byte-identical to the paper configuration.
+        assert!(!c.warm_restart);
+        assert!(!c.track_reliability);
     }
 
     #[test]

@@ -3,12 +3,16 @@
 //! application interception.
 
 
+use std::cell::{Ref, RefCell};
+
 use past_id::{IdHashMap, NodeId};
 use past_net::{Addr, Ctx, Protocol, SimTime};
 
 use crate::config::PastryConfig;
 use crate::leaf_set::NodeEntry;
+use crate::peer_score::PeerScoreTable;
 use crate::routing_table::RouteCell;
+use crate::snapshot::{NodeSnapshot, SnapshotCell, SnapshotPeer};
 use crate::state::{LeafChange, NextHop, PastryState};
 
 /// Timer token for the periodic keep-alive sweep.
@@ -165,12 +169,28 @@ pub trait Application: Sized {
     fn on_app_timer(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg, Self::Upcall>, token: u64) {
         let _ = (ctx, token);
     }
+
+    /// Serializes application state for a warm-restart snapshot. Called
+    /// at crash time with no context (the node is going down); must be
+    /// a pure read. The bytes come back through [`Application::on_restore`].
+    fn snapshot(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// The node recovered from a warm-restart snapshot; `payload` is
+    /// what [`Application::snapshot`] returned at crash time. The
+    /// application should validate the payload against its live state
+    /// and re-advertise anything the overlay may have re-replicated.
+    fn on_restore(&mut self, ctx: &mut AppCtx<'_, '_, Self::Msg, Self::Upcall>, payload: &[u8]) {
+        let _ = (ctx, payload);
+    }
 }
 
 /// Context handed to application callbacks.
 pub struct AppCtx<'a, 'b, M, U> {
     state: &'a PastryState,
     cfg: &'a PastryConfig,
+    scores: &'a RefCell<PeerScoreTable>,
     net: &'a mut Ctx<'b, Envelope<M>, U>,
 }
 
@@ -261,6 +281,34 @@ impl<'a, 'b, M: Clone, U> AppCtx<'a, 'b, M, U> {
     pub fn is_among_k_closest(&self, key: NodeId, k: usize) -> bool {
         self.state.is_among_k_closest(key, k)
     }
+
+    /// The decayed reliability of peer `id` in milli-units (0–1000,
+    /// 500 = uninformed prior). Deterministic — safe as a sort key.
+    pub fn reliability_milli(&self, id: NodeId) -> u64 {
+        self.scores.borrow().reliability_milli(id, self.net.now())
+    }
+
+    /// Records a successful exchange with `id` (ack received, transfer
+    /// fulfilled). A no-op unless [`PastryConfig::track_reliability`].
+    pub fn record_peer_success(&mut self, id: NodeId) {
+        if self.cfg.track_reliability {
+            let now = self.net.now();
+            let mut scores = self.scores.borrow_mut();
+            scores.record_success(id, now);
+            past_obs::observe("pastry.peer.reliability", scores.reliability_milli(id, now));
+        }
+    }
+
+    /// Records a failed exchange with `id` (timeout, exhausted retries).
+    /// A no-op unless [`PastryConfig::track_reliability`].
+    pub fn record_peer_failure(&mut self, id: NodeId) {
+        if self.cfg.track_reliability {
+            let now = self.net.now();
+            let mut scores = self.scores.borrow_mut();
+            scores.record_failure(id, now);
+            past_obs::observe("pastry.peer.reliability", scores.reliability_milli(id, now));
+        }
+    }
 }
 
 /// A routed message awaiting evidence that its next hop is alive
@@ -286,6 +334,15 @@ pub struct PastryNode<A: Application> {
     last_heard: IdHashMap<NodeId, SimTime>,
     pending_forwards: IdHashMap<u64, PendingForward<A::Msg>>,
     next_forward_id: u64,
+    /// Per-peer reliability evidence (RefCell: the table is updated
+    /// through `AppCtx` while the Pastry state is immutably borrowed).
+    scores: RefCell<PeerScoreTable>,
+    /// Encoded [`NodeSnapshot`] captured at crash time (warm restarts).
+    snapshot_bytes: Option<Vec<u8>>,
+    /// Recoveries that restored state from a snapshot.
+    restarts_warm: u64,
+    /// Recoveries that rejoined cold (no snapshot, or rejected one).
+    restarts_cold: u64,
 }
 
 impl<A: Application> PastryNode<A> {
@@ -293,6 +350,7 @@ impl<A: Application> PastryNode<A> {
     /// node (`None` for the first node of a new overlay).
     pub fn new(cfg: PastryConfig, own: NodeEntry, app: A, bootstrap: Option<Addr>) -> Self {
         cfg.validate();
+        let scores = RefCell::new(PeerScoreTable::new(cfg.reliability_half_life));
         PastryNode {
             state: PastryState::new(own, &cfg),
             cfg,
@@ -302,6 +360,10 @@ impl<A: Application> PastryNode<A> {
             last_heard: IdHashMap::default(),
             pending_forwards: IdHashMap::default(),
             next_forward_id: 0,
+            scores,
+            snapshot_bytes: None,
+            restarts_warm: 0,
+            restarts_cold: 0,
         }
     }
 
@@ -330,6 +392,22 @@ impl<A: Application> PastryNode<A> {
         self.state.own()
     }
 
+    /// Read access to the peer-reliability table.
+    pub fn peer_scores(&self) -> Ref<'_, PeerScoreTable> {
+        self.scores.borrow()
+    }
+
+    /// `(warm, cold)` recovery counts for this node.
+    pub fn restart_counts(&self) -> (u64, u64) {
+        (self.restarts_warm, self.restarts_cold)
+    }
+
+    /// The encoded snapshot captured at the last crash, if any
+    /// (test/diagnostic access).
+    pub fn snapshot_bytes(&self) -> Option<&[u8]> {
+        self.snapshot_bytes.as_deref()
+    }
+
     /// Runs `f` against the hosted application with a full [`AppCtx`].
     /// This is the entry point for harness-initiated operations (e.g. a
     /// PAST client issuing an insert), used with the simulator's `invoke`.
@@ -337,16 +415,22 @@ impl<A: Application> PastryNode<A> {
     where
         F: FnOnce(&mut A, &mut AppCtx<'_, '_, A::Msg, A::Upcall>),
     {
-        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
         f(&mut self.app, &mut app_ctx);
     }
 
     fn app_ctx<'a, 'b>(
         state: &'a PastryState,
         cfg: &'a PastryConfig,
+        scores: &'a RefCell<PeerScoreTable>,
         net: &'a mut Ctx<'b, Envelope<A::Msg>, A::Upcall>,
     ) -> AppCtx<'a, 'b, A::Msg, A::Upcall> {
-        AppCtx { state, cfg, net }
+        AppCtx {
+            state,
+            cfg,
+            scores,
+            net,
+        }
     }
 
     fn send(
@@ -393,9 +477,24 @@ impl<A: Application> PastryNode<A> {
         let proximity = ctx.proximity(entry.addr);
         let change = self.state.on_node_seen(entry, proximity);
         if change == LeafChange::Added {
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
             self.app.on_neighbor_added(&mut app_ctx, entry);
         }
+    }
+
+    /// Records reliability evidence about a peer (no-op unless
+    /// [`PastryConfig::track_reliability`]).
+    fn score_peer(&self, now: SimTime, id: NodeId, success: bool) {
+        if !self.cfg.track_reliability {
+            return;
+        }
+        let mut scores = self.scores.borrow_mut();
+        if success {
+            scores.record_success(id, now);
+        } else {
+            scores.record_failure(id, now);
+        }
+        past_obs::observe("pastry.peer.reliability", scores.reliability_milli(id, now));
     }
 
     /// Marks a node failed, repairing the leaf set and informing the app.
@@ -406,6 +505,7 @@ impl<A: Application> PastryNode<A> {
         notify_leaf: bool,
     ) {
         self.last_heard.remove(&failed);
+        self.score_peer(ctx.now(), failed, false);
         let was_member = self.state.leaf_set().contains(failed);
         let entry = self
             .state
@@ -429,7 +529,7 @@ impl<A: Application> PastryNode<A> {
                 self.send(ctx, e.addr, Body::LeafSetRequest);
             }
             if let Some(entry) = entry {
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
                 self.app.on_neighbor_removed(&mut app_ctx, entry);
             }
         }
@@ -455,12 +555,12 @@ impl<A: Application> PastryNode<A> {
             NextHop::Local => {
                 past_obs::counter("pastry.delivered", 1);
                 past_obs::observe("pastry.route.hops", hops as u64);
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
                 self.app.deliver(&mut app_ctx, key, msg, hops, source);
             }
             NextHop::Forward(next) => {
                 let keep_going = {
-                    let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+                    let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
                     self.app.forward(&mut app_ctx, key, &mut msg, hops, source)
                 };
                 if keep_going {
@@ -589,9 +689,109 @@ impl<A: Application> PastryNode<A> {
             for n in &known {
                 self.send(ctx, n.addr, Body::Announce);
             }
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
             self.app.on_joined(&mut app_ctx);
         }
+    }
+
+    /// Captures everything worth persisting across a restart.
+    fn capture_snapshot(&self, now: SimTime) -> NodeSnapshot {
+        NodeSnapshot {
+            own: self.state.own(),
+            taken_at: now,
+            leaf: self.state.leaf_set().members().copied().collect(),
+            routing: self
+                .state
+                .routing_table()
+                .entries()
+                .map(|c| SnapshotCell {
+                    entry: c.entry,
+                    proximity: c.proximity,
+                })
+                .collect(),
+            neighborhood: self
+                .state
+                .neighborhood()
+                .members()
+                .map(|n| SnapshotCell {
+                    entry: n.entry,
+                    proximity: n.proximity,
+                })
+                .collect(),
+            peers: self
+                .scores
+                .borrow()
+                .entries_sorted()
+                .into_iter()
+                .map(|(id, score)| SnapshotPeer { id, score })
+                .collect(),
+            app: self.app.snapshot(),
+        }
+    }
+
+    /// Warm recovery: rebuild Pastry state by replaying every snapshot
+    /// entry through the normal observation path (`on_node_seen`), so
+    /// the restored structures pass the same invariant checks live
+    /// traffic would — the snapshot is validated, not trusted. Then
+    /// probe a bounded number of the most reliable restored peers
+    /// instead of the whole leaf set.
+    fn restore_from_snapshot(
+        &mut self,
+        ctx: &mut Ctx<'_, Envelope<A::Msg>, A::Upcall>,
+        snap: NodeSnapshot,
+    ) {
+        let now = ctx.now();
+        self.state = PastryState::new(snap.own, &self.cfg);
+        let remembered = snap
+            .leaf
+            .iter()
+            .copied()
+            .chain(snap.routing.iter().map(|c| c.entry))
+            .chain(snap.neighborhood.iter().map(|c| c.entry));
+        let track_heard = self.cfg.keep_alive_period.micros() > 0 || self.cfg.per_hop_acks;
+        for entry in remembered {
+            if entry.id == snap.own.id {
+                continue;
+            }
+            // Fresh proximity measurement, not the snapshot's: the
+            // network may have changed while we were down.
+            let proximity = ctx.proximity(entry.addr);
+            self.state.on_node_seen(entry, proximity);
+            if track_heard {
+                // Restart the liveness clock; the probes below and the
+                // keep-alive sweep re-verify everyone from here.
+                self.last_heard.insert(entry.id, now);
+            }
+        }
+        let mut table = PeerScoreTable::new(self.cfg.reliability_half_life);
+        for p in &snap.peers {
+            table.insert_raw(p.id, p.score);
+        }
+        *self.scores.borrow_mut() = table;
+        self.joined = true;
+        // Bounded, prioritized reconnection: highest reliability first,
+        // id as the deterministic tie-break.
+        let mut members: Vec<NodeEntry> = self.state.leaf_set().members().copied().collect();
+        {
+            let scores = self.scores.borrow();
+            members.sort_by_key(|m| {
+                (
+                    std::cmp::Reverse(scores.reliability_milli(m.id, now)),
+                    m.id,
+                )
+            });
+        }
+        let fanout = match self.cfg.restart_probe_fanout {
+            0 => members.len(),
+            n => n,
+        };
+        for m in members.into_iter().take(fanout) {
+            self.send(ctx, m.addr, Body::LeafSetRequest);
+            self.send(ctx, m.addr, Body::Announce);
+        }
+        let app_payload = snap.app;
+        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+        self.app.on_restore(&mut app_ctx, &app_payload);
     }
 }
 
@@ -617,19 +817,44 @@ impl<A: Application> Protocol for PastryNode<A> {
             }
             None => {
                 self.joined = true;
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
                 self.app.on_joined(&mut app_ctx);
             }
         }
     }
 
+    fn on_crash(&mut self, now: SimTime) {
+        if !self.cfg.warm_restart {
+            return;
+        }
+        // "Flush to disk": serialize the node's state so recovery can
+        // restore from it. In-flight forwards die with the process.
+        self.pending_forwards.clear();
+        self.snapshot_bytes = Some(self.capture_snapshot(now).encode());
+    }
+
     fn on_recover(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>) {
-        // "A recovering node contacts the nodes in its last known leaf
-        // set, obtains their current leaf sets, updates its own leaf set
-        // and then notifies the members of its new leaf set."
         if self.cfg.keep_alive_period.micros() > 0 {
             ctx.set_timer(self.cfg.keep_alive_period, KEEPALIVE_TOKEN);
         }
+        if self.cfg.warm_restart {
+            let snap = self
+                .snapshot_bytes
+                .take()
+                .and_then(|b| NodeSnapshot::decode(&b).ok())
+                .filter(|s| s.own == self.state.own());
+            if let Some(snap) = snap {
+                self.restarts_warm += 1;
+                past_obs::counter("maint.restart.warm", 1);
+                self.restore_from_snapshot(ctx, snap);
+                return;
+            }
+            past_obs::counter("maint.restart.cold", 1);
+        }
+        self.restarts_cold += 1;
+        // "A recovering node contacts the nodes in its last known leaf
+        // set, obtains their current leaf sets, updates its own leaf set
+        // and then notifies the members of its new leaf set."
         let members: Vec<NodeEntry> = self.state.leaf_set().members().copied().collect();
         for m in members {
             self.send(ctx, m.addr, Body::LeafSetRequest);
@@ -676,7 +901,10 @@ impl<A: Application> Protocol for PastryNode<A> {
             Body::Ping => {
                 self.send(ctx, sender.addr, Body::Pong);
             }
-            Body::Pong => {}
+            Body::Pong => {
+                // An explicit liveness ack: positive reliability evidence.
+                self.score_peer(ctx.now(), sender.id, true);
+            }
             Body::LeafSetRequest => {
                 let members: Vec<NodeEntry> = self.state.leaf_set().members().copied().collect();
                 self.send(ctx, sender.addr, Body::LeafSetReply { members });
@@ -691,7 +919,7 @@ impl<A: Application> Protocol for PastryNode<A> {
                 self.handle_failure(ctx, failed, false);
             }
             Body::App(msg) => {
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
                 self.app.on_app_message(&mut app_ctx, sender, msg);
             }
         }
@@ -699,7 +927,7 @@ impl<A: Application> Protocol for PastryNode<A> {
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, token: u64) {
         if token >= APP_TOKEN_BASE {
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
             self.app.on_app_timer(&mut app_ctx, token - APP_TOKEN_BASE);
             return;
         }

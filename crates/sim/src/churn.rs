@@ -153,6 +153,10 @@ pub struct ChurnRunner {
     workload_rng: StdRng,
     /// Label for `past-obs` recording (None = recording off).
     metrics_label: Option<String>,
+    /// Downtime durations of every crash/recover pair installed through
+    /// [`Self::run_with_faults`] (from `FaultPlan::downtimes`), so runs
+    /// can report downtime distributions alongside availability.
+    downtimes: Vec<(Addr, SimDuration)>,
 }
 
 /// The client access point; excluded from churn plans built by
@@ -199,6 +203,7 @@ impl ChurnRunner {
             lookups_ok: 0,
             workload_rng,
             metrics_label: None,
+            downtimes: Vec::new(),
         }
     }
 
@@ -362,10 +367,30 @@ impl ChurnRunner {
         )
     }
 
-    /// Installs a fault plan and runs the overlay for `span`.
+    /// Installs a fault plan and runs the overlay for `span`. Downtime
+    /// durations the plan recorded (Poisson churn, `restart_at`) are
+    /// accumulated for [`Self::downtime_summary`].
     pub fn run_with_faults(&mut self, plan: FaultPlan, span: SimDuration) {
+        self.downtimes.extend_from_slice(plan.downtimes());
         self.sim.set_fault_plan(plan);
         self.sim.run_for(span);
+    }
+
+    /// Downtime durations of every crash/recover pair run so far.
+    pub fn downtimes(&self) -> &[(Addr, SimDuration)] {
+        &self.downtimes
+    }
+
+    /// `(count, mean, max)` of the downtimes run so far (micros), or
+    /// `None` if no timed outage was installed.
+    pub fn downtime_summary(&self) -> Option<(usize, u64, u64)> {
+        if self.downtimes.is_empty() {
+            return None;
+        }
+        let micros: Vec<u64> = self.downtimes.iter().map(|(_, d)| d.micros()).collect();
+        let sum: u64 = micros.iter().sum();
+        let max = *micros.iter().max().expect("non-empty");
+        Some((micros.len(), sum / micros.len() as u64, max))
     }
 
     /// Issues `count` lookups of the working set from random *live*
@@ -458,9 +483,25 @@ impl ChurnRunner {
                 total.retries += s.retries;
                 total.acked += s.acked;
                 total.exhausted += s.exhausted;
+                total.bytes_rereplication += s.bytes_rereplication;
+                total.bytes_refresh += s.bytes_refresh;
             }
         }
         total
+    }
+
+    /// `(warm, cold)` restart counts summed over every node.
+    pub fn restart_totals(&self) -> (u64, u64) {
+        let mut warm = 0;
+        let mut cold = 0;
+        for e in &self.entries {
+            if let Some(n) = self.sim.node(e.addr) {
+                let (w, c) = n.restart_counts();
+                warm += w;
+                cold += c;
+            }
+        }
+        (warm, cold)
     }
 
     /// Walks every live node and checks the global invariants. See the

@@ -59,6 +59,15 @@ pub struct ExperimentConfig {
     /// `n ≥ 1` runs the sharded engine with `n` shards (same seed ⇒
     /// same execution at any shard count; see `past_net::ShardedSim`).
     pub shards: usize,
+    /// Warm restarts: crashed nodes snapshot their state and recover
+    /// from it (validated, probe-bounded) instead of rejoining cold,
+    /// and replica maintenance switches to advertise-then-fetch. Off by
+    /// default — legacy runs stay byte-identical.
+    pub warm_restart: bool,
+    /// Peer-reliability tracking: score peers on acks/timeouts and
+    /// weight diversion-target choice by free space × reliability. Off
+    /// by default.
+    pub track_reliability: bool,
 }
 
 impl Default for ExperimentConfig {
@@ -79,6 +88,8 @@ impl Default for ExperimentConfig {
             topology: TopologyKind::Euclidean,
             seed: 2001,
             shards: 0,
+            warm_restart: false,
+            track_reliability: false,
         }
     }
 }
@@ -114,6 +125,7 @@ impl ExperimentConfig {
             maint_retry_budget: 5,
             anti_entropy_period: SimDuration::ZERO,
             anti_entropy_batch: 8,
+            warm_restart: self.warm_restart,
         }
     }
 
@@ -131,6 +143,10 @@ impl ExperimentConfig {
             best_hop_bias: 0.9,
             per_hop_acks: false,
             forward_ack_timeout: past_net::SimDuration::from_millis(500),
+            warm_restart: self.warm_restart,
+            track_reliability: self.track_reliability,
+            // Score half-life and probe fanout keep the library defaults.
+            ..PastryConfig::default()
         }
     }
 }

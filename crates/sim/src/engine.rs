@@ -11,6 +11,10 @@ use past_core::{PastEvent, PastOverlayNode};
 use past_net::{Addr, FaultPlan, NetStats, ShardedSim, SimDuration, SimTime, Simulator, Topology};
 
 /// A simulation backend driving the PAST overlay.
+// One Engine exists per harness and it never moves after construction,
+// so the size asymmetry between the variants costs nothing; boxing the
+// large one would add an indirection to every dispatched call instead.
+#[allow(clippy::large_enum_variant)]
 pub enum Engine {
     /// The single-threaded event-queue engine.
     Single(Simulator<PastOverlayNode>),

@@ -77,4 +77,32 @@ for wl in sorted(one):
 print(f"sharded smoke OK: {len(one)} workloads bit-identical at 1 vs 2 shards")
 PY
 
+echo "== warm-restart churn smoke (warm vs cold at mtbf 60 s)"
+# The warm-restart contract: at the highest churn rate, warm restarts
+# must cut maintenance bytes hard (the advertise-then-fetch sweep) and
+# must not lose lookups vs cold. Run the smoke pair twice and also
+# assert the JSON is deterministic run-to-run.
+PAST_CHURN_SMOKE=1 PAST_CHURN_NODES=60 PAST_OUT_DIR="$perf_out/w1" \
+  cargo run --release -q -p past-bench --bin churn_availability --offline
+PAST_CHURN_SMOKE=1 PAST_CHURN_NODES=60 PAST_OUT_DIR="$perf_out/w2" \
+  cargo run --release -q -p past-bench --bin churn_availability --offline
+cmp "$perf_out/w1/BENCH_churn.json" "$perf_out/w2/BENCH_churn.json" \
+  || { echo "error: churn smoke JSON not deterministic across runs" >&2; exit 1; }
+python3 - "$perf_out/w1/BENCH_churn.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rows = {r["warm_restart"]: r for r in report["warm_vs_cold"] if r["mtbf_s"] == 60}
+assert set(rows) == {True, False}, f"missing warm/cold pair: {set(rows)}"
+warm, cold = rows[True], rows[False]
+wb = warm["maint_bytes_rereplication"] + warm["maint_bytes_refresh"]
+cb = cold["maint_bytes_rereplication"] + cold["maint_bytes_refresh"]
+assert warm["restarts_warm"] > 0 and warm["restarts_cold"] == 0, warm
+assert cold["restarts_cold"] > 0 and cold["restarts_warm"] == 0, cold
+assert wb * 2 <= cb, f"warm maintenance bytes not halved: warm={wb} cold={cb}"
+assert warm["lookup_success_rate"] >= cold["lookup_success_rate"], \
+    f"warm lookups regressed: {warm['lookup_success_rate']} < {cold['lookup_success_rate']}"
+print(f"warm smoke OK: bytes {cb} -> {wb} ({cb / wb:.1f}x), "
+      f"lookup success {cold['lookup_success_rate']} -> {warm['lookup_success_rate']}")
+PY
+
 echo "CI OK"
