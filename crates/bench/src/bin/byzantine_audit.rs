@@ -1,0 +1,212 @@
+//! Byzantine fault tolerance: residual corruption and detection latency
+//! across a malicious-fraction sweep, with the audit defense on vs off.
+//!
+//! For each fraction in {0%, 5%, 10%, 20%} the same seeded overlay is
+//! run twice: once undefended and once with the full defense stack
+//! (periodic sampled possession audits, lookup content verification,
+//! reliability tracking, routing-table demotion). Each run inserts the
+//! working set, flips the sampled adversaries on (the behavior mix from
+//! `ChurnRunner::byzantine_plan`: content corrupters, replica droppers,
+//! ack-then-discarders, free-space liars), serves a detection window,
+//! and then measures the residual corrupted-lookup rate over a final
+//! lookup round. Results go to stdout, `results/byzantine_audit.csv`,
+//! and `BENCH_byzantine.json`.
+//!
+//! The overlay is sized so every node sees every other through its leaf
+//! set: shunning a convicted holder then reroutes around it in one hop,
+//! which is what lets the defended runs reach zero residual corruption.
+//!
+//! Environment knobs: `PAST_BYZ_NODES` (default 16), `PAST_BYZ_FILES`
+//! (default 6), `PAST_BYZ_SEED` (default 39), and `PAST_BYZ_SMOKE=1` to
+//! run only the 10% fraction (the CI smoke gate).
+
+use std::io::Write as _;
+
+use past_net::SimDuration;
+use past_sim::{ChurnConfig, ChurnRunner};
+
+use past_bench::{artifact_path, print_table, write_csv};
+
+struct Row {
+    fraction: f64,
+    audits: bool,
+    malicious: usize,
+    lookups: usize,
+    lookups_ok: usize,
+    corrupted: u64,
+    detection_latency_s: Option<f64>,
+    challenges: u64,
+    passed: u64,
+    failed: u64,
+    timeouts: u64,
+    shunned: usize,
+    replicas_on_malicious: usize,
+    under_replicated: usize,
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run(nodes: usize, files: usize, seed: u64, fraction: f64, audits: bool) -> Row {
+    let mut cfg = ChurnConfig {
+        nodes,
+        files,
+        seed,
+        ..Default::default()
+    };
+    if audits {
+        cfg.past.audit_period = SimDuration::from_secs(10);
+        cfg.past.audit_timeout = SimDuration::from_secs(2);
+        cfg.past.verify_lookup_content = true;
+        cfg.pastry.track_reliability = true;
+        cfg.pastry.demote_unreliable = true;
+    }
+    let mut r = ChurnRunner::build(cfg);
+    let inserted = r.insert_files();
+    assert!(inserted > 0, "no insert succeeded before the adversary");
+
+    let plan = r.byzantine_plan(fraction);
+    r.apply_byzantine(&plan);
+
+    // Detection window: audits sweep, convict and repair while the
+    // overlay idles, then the residual rate is measured over a final
+    // lookup round (40 lookups spaced 1 s apart).
+    r.run_for(SimDuration::from_secs(120));
+    r.discard_upcalls();
+    r.lookup_round(40, SimDuration::from_secs(1));
+
+    let (lookups, lookups_ok) = r.lookup_totals();
+    let (challenges, passed, failed, timeouts) = r.audit_totals();
+    let shunned: usize = r
+        .entries()
+        .iter()
+        .filter_map(|e| r.engine().node(e.addr))
+        .map(|n| n.shunned().len())
+        .sum();
+    let report = r.audit();
+    Row {
+        fraction,
+        audits,
+        malicious: r.malicious().len(),
+        lookups,
+        lookups_ok,
+        corrupted: r.corrupted_lookups(),
+        detection_latency_s: r.detection_latency().map(|d| d.micros() as f64 / 1e6),
+        challenges,
+        passed,
+        failed,
+        timeouts,
+        shunned,
+        replicas_on_malicious: report.replicas_on_malicious,
+        under_replicated: report.under_replicated.len(),
+    }
+}
+
+fn main() {
+    let nodes = env_u64("PAST_BYZ_NODES", 16) as usize;
+    let files = env_u64("PAST_BYZ_FILES", 6) as usize;
+    let seed = env_u64("PAST_BYZ_SEED", 39);
+    let smoke = env_u64("PAST_BYZ_SMOKE", 0) != 0;
+    let fractions: &[f64] = if smoke {
+        &[0.10]
+    } else {
+        &[0.0, 0.05, 0.10, 0.20]
+    };
+
+    let mut rows = Vec::new();
+    for &fraction in fractions {
+        for &audits in &[false, true] {
+            let mode = if audits { "audits" } else { "undefended" };
+            eprintln!("byzantine cell: fraction={fraction:.2} mode={mode} ...");
+            rows.push(run(nodes, files, seed, fraction, audits));
+        }
+    }
+
+    let header: Vec<String> = [
+        "malicious",
+        "mode",
+        "lookup ok",
+        "corrupted",
+        "detect (s)",
+        "challenges",
+        "pass/fail/timeout",
+        "shunned",
+        "replicas on mal",
+        "under-rep",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}% ({})", r.fraction * 100.0, r.malicious),
+                if r.audits { "audits" } else { "undefended" }.to_string(),
+                format!("{}/{}", r.lookups_ok, r.lookups),
+                r.corrupted.to_string(),
+                r.detection_latency_s
+                    .map(|s| format!("{s:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+                r.challenges.to_string(),
+                format!("{}/{}/{}", r.passed, r.failed, r.timeouts),
+                r.shunned.to_string(),
+                r.replicas_on_malicious.to_string(),
+                r.under_replicated.to_string(),
+            ]
+        })
+        .collect();
+    print_table("Byzantine faults: residual corruption vs audits", &header, &table);
+    write_csv("byzantine_audit", &header, &table);
+
+    // Hand-rolled JSON (the workspace has no serde).
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"byzantine_audit\",\n");
+    json.push_str(&format!(
+        "  \"nodes\": {nodes},\n  \"files\": {files},\n  \"seed\": {seed},\n"
+    ));
+    json.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let residual_rate = if r.lookups > 0 {
+            r.corrupted as f64 / r.lookups as f64
+        } else {
+            0.0
+        };
+        json.push_str(&format!(
+            "    {{\"fraction\": {:.2}, \"audits\": {}, \"malicious\": {}, \
+             \"lookups\": {}, \"lookups_ok\": {}, \"corrupted_lookups\": {}, \
+             \"residual_corruption_rate\": {:.4}, \"detection_latency_s\": {}, \
+             \"challenges\": {}, \"passed\": {}, \"failed\": {}, \"timeouts\": {}, \
+             \"shunned\": {}, \"replicas_on_malicious\": {}, \
+             \"under_replicated\": {}}}{}\n",
+            r.fraction,
+            r.audits,
+            r.malicious,
+            r.lookups,
+            r.lookups_ok,
+            r.corrupted,
+            residual_rate,
+            r.detection_latency_s
+                .map(|s| format!("{s:.1}"))
+                .unwrap_or_else(|| "null".into()),
+            r.challenges,
+            r.passed,
+            r.failed,
+            r.timeouts,
+            r.shunned,
+            r.replicas_on_malicious,
+            r.under_replicated,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = artifact_path("BENCH_byzantine.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_byzantine.json");
+    f.write_all(json.as_bytes())
+        .expect("write BENCH_byzantine.json");
+    eprintln!("wrote {}", path.display());
+}

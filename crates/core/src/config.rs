@@ -70,6 +70,26 @@ pub struct PastConfig {
     /// legacy runs stay byte-identical; pair with
     /// `PastryConfig::warm_restart`.
     pub warm_restart: bool,
+    /// Period of the sampled storage-audit sweep: each sweep the node
+    /// challenges a sampled replica holder per audited file to prove
+    /// possession via SHA-1(file ‖ nonce) (LOCKSS-style rate-limited
+    /// sampling). Failed or timed-out proofs demote the holder in the
+    /// peer-score table, shun it locally, and trigger re-replication
+    /// through the normal neighbor-loss repair path. Zero disables
+    /// audits — the default; audit scheduling is RNG-free, so enabling
+    /// it never perturbs any seeded RNG stream.
+    pub audit_period: SimDuration,
+    /// Maximum files audited per sweep.
+    pub audit_batch: usize,
+    /// How long the auditor waits for a possession proof before
+    /// treating the challenge as failed.
+    pub audit_timeout: SimDuration,
+    /// Client-side lookup content verification: the client recomputes
+    /// the content hash of a lookup answer against the signed
+    /// certificate, discards corrupted answers, shuns the offending
+    /// server and retries the lookup (up to `k` times) before
+    /// accepting defeat. Off by default.
+    pub verify_lookup_content: bool,
 }
 
 impl Default for PastConfig {
@@ -89,6 +109,10 @@ impl Default for PastConfig {
             anti_entropy_period: SimDuration::ZERO,
             anti_entropy_batch: 8,
             warm_restart: false,
+            audit_period: SimDuration::ZERO,
+            audit_batch: 4,
+            audit_timeout: SimDuration::from_secs(2),
+            verify_lookup_content: false,
         }
     }
 }
@@ -116,6 +140,10 @@ mod tests {
         assert_eq!(c.max_file_diversions, 3);
         assert!((c.policy.t_pri - 0.1).abs() < 1e-12);
         assert!((c.policy.t_div - 0.05).abs() < 1e-12);
+        // The Byzantine defense layer is opt-in: default runs make no
+        // audit sends and no lookup retries.
+        assert_eq!(c.audit_period, SimDuration::ZERO);
+        assert!(!c.verify_lookup_content);
     }
 
     #[test]

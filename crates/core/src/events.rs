@@ -40,6 +40,10 @@ pub enum PastEvent {
         hops: u32,
         /// What kind of copy answered (when found).
         kind: Option<HitKind>,
+        /// Whether the final answer's content did not match the
+        /// certificate's content hash (served by a Byzantine holder and
+        /// not recovered by retries). Always `false` on misses.
+        corrupted: bool,
     },
     /// A client reclaim completed.
     ReclaimDone {

@@ -138,6 +138,12 @@ impl PastNode {
                     let receipt = self.issue_receipt(ctx, file_id, false);
                     self.report_store_result(ctx, req, file_id, Some(receipt), coord);
                 }
+                // Byzantine acknowledge-then-discard: the receipt went
+                // out, the copy silently doesn't. No drop event — the
+                // harness's global auditor must not see the betrayal.
+                if self.malice.ack_then_discard {
+                    self.store.remove_replica(file_id);
+                }
             }
             Err(_) => {
                 // Replica diversion: ask a leaf-set node outside the k

@@ -14,11 +14,16 @@
 //!   node arrival and failure, with lazy background migration;
 //! - **caching** (§4): route-through insertion into the unused disk
 //!   space, GreedyDual-Size replacement, and lookup responses that
-//!   retrace the request path to populate caches.
+//!   retrace the request path to populate caches;
+//! - **Byzantine defense** (beyond the paper, LOCKSS-style): sampled
+//!   challenge-response storage audits ([`AuditBook`]) that demote and
+//!   shun holders failing possession proofs, plus client-side lookup
+//!   content verification with shun-and-retry. All knobs default off.
 //!
 //! Nodes emit [`PastEvent`]s, from which the experiment harness
 //! (`past-sim`) reconstructs every metric in the paper's evaluation.
 
+mod audit;
 mod config;
 mod events;
 mod insert;
@@ -29,6 +34,7 @@ mod node;
 mod obs;
 mod reclaim;
 
+pub use audit::{AuditBook, AuditStats, AuditVerdict, PendingAudit};
 pub use config::PastConfig;
 pub use events::PastEvent;
 pub use messages::{HitKind, MsgKind, PastMsg, ReqId};

@@ -90,15 +90,21 @@ impl PastNode {
             hit_label(kind),
             hops as i64,
         );
+        // A content-corrupting holder serves bytes that no longer match
+        // the certificate; the flag travels with the hit and stands in
+        // for the client's own hash comparison of the received content.
+        let corrupted = self.malice.corrupt_content;
+        let server = ctx.own();
         // Response retraces the request path (closest forwarder first),
         // ending at the client.
         let mut reverse: Vec<NodeEntry> = path.into_iter().rev().collect();
         reverse.push(req.client);
-        self.forward_hit(ctx, req, cert, hops, kind, reverse);
+        self.forward_hit(ctx, req, cert, hops, kind, reverse, corrupted, server);
     }
 
     /// Sends a hit to the next node on the reverse path (or completes the
     /// operation when this node *is* the client).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn forward_hit(
         &mut self,
         ctx: &mut PCtx<'_, '_>,
@@ -107,6 +113,8 @@ impl PastNode {
         hops: u32,
         kind: HitKind,
         mut reverse_path: Vec<NodeEntry>,
+        corrupted: bool,
+        server: NodeEntry,
     ) {
         // Skip self-entries (the responder may be on the recorded path).
         let own = ctx.own();
@@ -129,19 +137,23 @@ impl PastNode {
                         hops,
                         kind,
                         reverse_path: rest,
+                        corrupted,
+                        server,
                     },
                 );
             }
             None => {
                 // The path is exhausted: this node must be the client.
                 debug_assert_eq!(req.client.id, own.id);
-                self.complete_lookup(ctx, req, cert, hops, kind);
+                self.complete_lookup(ctx, req, cert, hops, kind, corrupted, server);
             }
         }
     }
 
     /// A hit traveling back toward the client passes through this node:
-    /// cache it (§4) and forward.
+    /// cache it (§4) and forward. Corrupted content is never cached —
+    /// the relay's own hash check rejects it.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn on_lookup_hit(
         &mut self,
         ctx: &mut PCtx<'_, '_>,
@@ -150,16 +162,25 @@ impl PastNode {
         hops: u32,
         kind: HitKind,
         reverse_path: Vec<NodeEntry>,
+        corrupted: bool,
+        server: NodeEntry,
     ) {
-        self.store.cache_file(&cert);
+        if !corrupted {
+            self.store.cache_file(&cert);
+        }
         if req.client.id == ctx.own().id && reverse_path.is_empty() {
-            self.complete_lookup(ctx, req, cert, hops, kind);
+            self.complete_lookup(ctx, req, cert, hops, kind, corrupted, server);
         } else {
-            self.forward_hit(ctx, req, cert, hops, kind, reverse_path);
+            self.forward_hit(ctx, req, cert, hops, kind, reverse_path, corrupted, server);
         }
     }
 
-    /// Completes a pending client lookup.
+    /// Completes a pending client lookup. In content-verification mode a
+    /// corrupted answer is not accepted: the client demotes and shuns
+    /// the offending server and re-routes the lookup (the shun steers
+    /// the retry to a different replica holder), giving up only after
+    /// `k` retries.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn complete_lookup(
         &mut self,
         ctx: &mut PCtx<'_, '_>,
@@ -167,10 +188,34 @@ impl PastNode {
         cert: SharedFileCert,
         hops: u32,
         kind: HitKind,
+        corrupted: bool,
+        server: NodeEntry,
     ) {
         match self.pending.remove(&req.seq) {
-            Some(PendingOp::Lookup { file_id }) => {
+            Some(PendingOp::Lookup { file_id, retries }) => {
                 debug_assert_eq!(file_id, cert.file_id);
+                if corrupted && self.cfg.verify_lookup_content {
+                    past_obs::counter("past.lookup.corrupted", 1);
+                    ctx.record_peer_failure(server.id);
+                    ctx.demote_peer(server.id);
+                    if retries < self.cfg.k {
+                        past_obs::counter("past.lookup.retry", 1);
+                        self.pending.insert(
+                            req.seq,
+                            PendingOp::Lookup {
+                                file_id,
+                                retries: retries + 1,
+                            },
+                        );
+                        let m = self.msg(MsgKind::Lookup {
+                            req,
+                            file_id,
+                            path: Vec::new(),
+                        });
+                        ctx.route(file_id.as_key(), m);
+                        return;
+                    }
+                }
                 if past_obs::is_enabled() {
                     past_obs::counter("past.lookup.ok", 1);
                     past_obs::counter(hit_counter(kind), 1);
@@ -183,6 +228,7 @@ impl PastNode {
                     found: true,
                     hops,
                     kind: Some(kind),
+                    corrupted,
                 });
             }
             Some(other) => {
@@ -206,6 +252,7 @@ impl PastNode {
                     found: false,
                     hops: 0,
                     kind: None,
+                    corrupted: false,
                 });
             }
             Some(other) => {

@@ -311,6 +311,11 @@ impl PastNode {
         file_id: FileId,
         refresh: bool,
     ) {
+        // A replica-dropping Byzantine node refuses maintenance service
+        // outright (it has discarded its copies anyway).
+        if self.malice.drop_replicas {
+            return;
+        }
         if let Some(replica) = self.store.replica(file_id) {
             let cert = replica.cert.clone();
             self.count_maint_bytes(cert.file_size, refresh);

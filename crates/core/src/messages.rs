@@ -1,6 +1,6 @@
 //! PAST wire messages (carried as the Pastry application payload).
 
-use past_crypto::{SharedFileCert, SharedReceipt, SharedReclaimCert};
+use past_crypto::{Digest, SharedFileCert, SharedReceipt, SharedReclaimCert};
 use past_id::{FileId, NodeId};
 use past_pastry::NodeEntry;
 
@@ -158,6 +158,14 @@ pub enum MsgKind {
         kind: HitKind,
         /// Remaining nodes to traverse; the client is last.
         reverse_path: Vec<NodeEntry>,
+        /// Whether the served content does not match the certificate's
+        /// content hash (a Byzantine holder answered from a corrupted
+        /// copy). Honest relays propagate the flag — in the real system
+        /// any node can recompute SHA-1 over the received bytes.
+        corrupted: bool,
+        /// The node that answered (for client-side shunning when
+        /// content verification detects corruption).
+        server: NodeEntry,
     },
     /// The responsible node does not have the file.
     LookupMiss {
@@ -248,6 +256,29 @@ pub enum MsgKind {
     MaintAck {
         /// The acknowledged sequence number.
         seq: u64,
+    },
+    /// Auditor → replica holder: prove possession of `file_id` by
+    /// answering SHA-1(file ‖ nonce) (sampled storage audit).
+    AuditChallenge {
+        /// Auditor-local challenge sequence number (echoed back).
+        seq: u64,
+        /// File audited.
+        file_id: FileId,
+        /// One-shot nonce for this challenge.
+        nonce: u64,
+        /// The auditing node (receives the proof).
+        auditor: NodeEntry,
+    },
+    /// Replica holder → auditor: the possession proof.
+    AuditProof {
+        /// Echo of the challenge's sequence number.
+        seq: u64,
+        /// File audited.
+        file_id: FileId,
+        /// SHA-1(content ‖ nonce), or `None` for "copy not held".
+        proof: Option<Digest>,
+        /// The answering holder.
+        holder: NodeEntry,
     },
 }
 

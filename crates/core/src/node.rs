@@ -4,13 +4,15 @@
 
 
 use past_crypto::{
-    FileCertificate, KeyPair, QuotaLedger, ReclaimCertificate, SharedFileCert, SharedReceipt,
-    SharedReclaimCert, VerifyMemo,
+    Digest, FileCertificate, KeyPair, QuotaLedger, ReclaimCertificate, SharedFileCert,
+    SharedReceipt, SharedReclaimCert, VerifyMemo,
 };
 use past_id::{FileId, IdHashMap, NodeId};
+use past_net::ByzantineBehavior;
 use past_pastry::{AppCtx, Application, NodeEntry};
 use past_store::{NodeStore, Resolution};
 
+use crate::audit::{corrupted_proof, honest_proof, AuditBook, AuditStats, AuditVerdict};
 use crate::config::PastConfig;
 use crate::events::PastEvent;
 use crate::messages::{HitKind, MsgKind, PastMsg, ReqId};
@@ -23,6 +25,12 @@ pub(crate) type PCtx<'a, 'b> = AppCtx<'a, 'b, PastMsg, PastEvent>;
 pub(crate) const MIGRATION_TOKEN: u64 = 0;
 /// Timer token for the anti-entropy sweep.
 pub(crate) const ANTI_ENTROPY_TOKEN: u64 = 1;
+/// Timer token for the sampled storage-audit sweep.
+pub(crate) const AUDIT_SWEEP_TOKEN: u64 = 2;
+/// Audit-challenge timeout tokens: `AUDIT_TIMEOUT_BASE + audit seq`
+/// (the namespace spans up to `TIMEOUT_BASE`, far beyond any sim's
+/// challenge count).
+pub(crate) const AUDIT_TIMEOUT_BASE: u64 = 1 << 10;
 /// Client timeout tokens: `TIMEOUT_BASE + seq`.
 pub(crate) const TIMEOUT_BASE: u64 = 1 << 20;
 /// Maintenance retransmission tokens: `MAINT_RETRY_BASE + maint seq`.
@@ -46,6 +54,9 @@ pub(crate) enum PendingOp {
     Lookup {
         /// The requested file.
         file_id: FileId,
+        /// Re-routes issued after a corrupted answer (content
+        /// verification mode only; capped at `k`).
+        retries: u32,
     },
     /// A reclaim.
     Reclaim {
@@ -154,6 +165,14 @@ pub struct PastNode {
     pub(crate) anti_entropy_cursor: Option<FileId>,
     /// Memoized signature verifications (see [`VerifyMemo`]).
     pub(crate) verify_memo: VerifyMemo,
+    /// This node's Byzantine strategy (all-false = honest).
+    pub(crate) malice: ByzantineBehavior,
+    /// Outstanding possession challenges this node issued as auditor.
+    pub(crate) audits: AuditBook,
+    /// Audit counters (auditor side).
+    pub(crate) audit_stats: AuditStats,
+    /// Resume point of the audit sweep (last fileId challenged).
+    pub(crate) audit_cursor: Option<FileId>,
 }
 
 impl PastNode {
@@ -182,6 +201,10 @@ impl PastNode {
             maint_stats: MaintStats::default(),
             anti_entropy_cursor: None,
             verify_memo: VerifyMemo::new(cap),
+            malice: ByzantineBehavior::default(),
+            audits: AuditBook::new(),
+            audit_stats: AuditStats::default(),
+            audit_cursor: None,
         }
     }
 
@@ -232,10 +255,41 @@ impl PastNode {
         self.backup_certs.keys().copied()
     }
 
-    /// Wraps a message body with the free-space piggyback.
+    /// This node's Byzantine strategy (all-false = honest).
+    pub fn malice(&self) -> ByzantineBehavior {
+        self.malice
+    }
+
+    /// Installs a Byzantine strategy (harness-driven fault injection).
+    pub fn set_malice(&mut self, behavior: ByzantineBehavior) {
+        self.malice = behavior;
+    }
+
+    /// Audit counters (auditor side).
+    pub fn audit_stats(&self) -> AuditStats {
+        self.audit_stats
+    }
+
+    /// Byzantine `drop_replicas`: silently discard every replica this
+    /// node holds — no events, no discard cascade, no one told. Invoked
+    /// by the harness when the strategy is switched on.
+    pub fn malice_drop_replicas(&mut self) {
+        let ids: Vec<FileId> = self.store.primaries().map(|(id, _)| *id).collect();
+        for id in ids {
+            self.store.remove_replica(id);
+        }
+    }
+
+    /// Wraps a message body with the free-space piggyback. A node lying
+    /// about its free space (`inflate_free`) advertises its whole
+    /// capacity to attract replica diversions it then mistreats.
     pub(crate) fn msg(&self, kind: MsgKind) -> PastMsg {
         PastMsg {
-            free: self.store.free(),
+            free: if self.malice.inflate_free {
+                self.store.capacity()
+            } else {
+                self.store.free()
+            },
             kind,
         }
     }
@@ -356,6 +410,7 @@ impl PastNode {
                     found: true,
                     hops: 0,
                     kind: Some(HitKind::Primary),
+                    corrupted: false,
                 });
                 return seq;
             }
@@ -371,6 +426,7 @@ impl PastNode {
                     found: true,
                     hops: 0,
                     kind: Some(HitKind::Cached),
+                    corrupted: false,
                 });
                 return seq;
             }
@@ -386,7 +442,8 @@ impl PastNode {
                     "local_pointer",
                     holder.addr.0 as i64,
                 );
-                self.pending.insert(seq, PendingOp::Lookup { file_id });
+                self.pending
+                    .insert(seq, PendingOp::Lookup { file_id, retries: 0 });
                 self.send_to(
                     ctx,
                     holder,
@@ -406,7 +463,8 @@ impl PastNode {
             client: ctx.own(),
             seq,
         };
-        self.pending.insert(seq, PendingOp::Lookup { file_id });
+        self.pending
+            .insert(seq, PendingOp::Lookup { file_id, retries: 0 });
         let m = self.msg(MsgKind::Lookup {
             req,
             file_id,
@@ -518,7 +576,7 @@ impl PastNode {
                 // Treat like a failed attempt: re-salt or give up.
                 self.retry_or_fail_insert(ctx, seq, name, size, attempts, cert);
             }
-            PendingOp::Lookup { file_id } => {
+            PendingOp::Lookup { file_id, .. } => {
                 if past_obs::is_enabled() {
                     past_obs::counter("past.lookup.timeout", 1);
                     past_obs::span_end(
@@ -533,6 +591,7 @@ impl PastNode {
                     found: false,
                     hops: 0,
                     kind: None,
+                    corrupted: false,
                 });
             }
             PendingOp::Reclaim { file_id } => {
@@ -551,6 +610,142 @@ impl PastNode {
                     freed: 0,
                 });
             }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampled storage audits (LOCKSS-style defense layer).
+    // ------------------------------------------------------------------
+
+    /// One audit sweep: round-robin over this node's primaries (sorted,
+    /// resuming at the cursor), challenging one sampled *other* replica
+    /// holder per file to prove possession of the copy. Sampling and
+    /// nonces are SHA-1-derived from stable identities and counters, so
+    /// audits never consume any seeded RNG stream.
+    pub(crate) fn audit_sweep(&mut self, ctx: &mut PCtx<'_, '_>) {
+        let mut ids: Vec<FileId> = self.store.primaries().map(|(id, _)| *id).collect();
+        if ids.is_empty() {
+            return;
+        }
+        ids.sort();
+        let start = match self.audit_cursor {
+            Some(cursor) => ids.partition_point(|id| *id <= cursor) % ids.len(),
+            None => 0,
+        };
+        let own = ctx.own();
+        let own_id = own.id.to_bytes();
+        let batch = self.cfg.audit_batch.min(ids.len());
+        for i in 0..batch {
+            let file_id = ids[(start + i) % ids.len()];
+            self.audit_cursor = Some(file_id);
+            let expected = match self.store.replica(file_id) {
+                Some(r) => r.cert.content_hash,
+                None => continue,
+            };
+            let candidates: Vec<NodeEntry> = ctx
+                .replica_candidates(file_id.as_key(), self.cfg.k as usize)
+                .into_iter()
+                .filter(|e| e.id != own.id)
+                .collect();
+            if candidates.is_empty() {
+                continue;
+            }
+            // Sample the challenged holder by hashing (auditor, file)
+            // with the running challenge count, so repeated audits of
+            // the same file rotate across holders.
+            let mut seed = Vec::with_capacity(own_id.len() + 20);
+            seed.extend_from_slice(&own_id);
+            seed.extend_from_slice(file_id.as_bytes());
+            let pick = past_crypto::audit_nonce(&seed, self.audit_stats.challenges) as usize
+                % candidates.len();
+            let holder = candidates[pick];
+            let (seq, nonce) = self.audits.issue(
+                &own_id,
+                file_id,
+                expected,
+                holder,
+                ctx.now(),
+                &mut self.audit_stats,
+            );
+            past_obs::counter("past.audit.challenge", 1);
+            self.send_to(
+                ctx,
+                holder,
+                MsgKind::AuditChallenge {
+                    seq,
+                    file_id,
+                    nonce,
+                    auditor: own,
+                },
+            );
+            ctx.set_app_timer(self.cfg.audit_timeout, AUDIT_TIMEOUT_BASE + seq);
+        }
+    }
+
+    /// Holder side of an audit challenge. An honest holder proves
+    /// possession (or honestly confesses to not having the copy); a
+    /// content-corrupting holder hashes the bytes it actually serves,
+    /// which fail verification; a holder that silently dropped its
+    /// replicas has nothing to prove and stays silent, letting the
+    /// auditor's timeout convict it.
+    fn on_audit_challenge(
+        &mut self,
+        ctx: &mut PCtx<'_, '_>,
+        seq: u64,
+        file_id: FileId,
+        nonce: u64,
+        auditor: NodeEntry,
+    ) {
+        let proof = match self.store.replica(file_id) {
+            Some(r) if self.malice.corrupt_content => {
+                Some(corrupted_proof(&r.cert.content_hash, nonce))
+            }
+            Some(r) => Some(honest_proof(&r.cert.content_hash, nonce)),
+            None if self.malice.is_malicious() => return,
+            None => None,
+        };
+        let holder = ctx.own();
+        self.send_to(
+            ctx,
+            auditor,
+            MsgKind::AuditProof {
+                seq,
+                file_id,
+                proof,
+                holder,
+            },
+        );
+    }
+
+    /// Auditor side of a returned possession proof. Failures demote the
+    /// challenged holder: its peer score drops and the overlay shuns it
+    /// (eviction from leaf set and routing table), which triggers
+    /// re-replication through the normal neighbor-loss repair path.
+    fn on_audit_proof(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64, proof: Option<Digest>) {
+        let (verdict, pending) =
+            self.audits
+                .settle(seq, proof.as_ref(), ctx.now(), &mut self.audit_stats);
+        match (verdict, pending) {
+            (AuditVerdict::Pass, Some(p)) => {
+                past_obs::counter("past.audit.pass", 1);
+                ctx.record_peer_success(p.holder.id);
+            }
+            (AuditVerdict::Fail, Some(p)) => {
+                past_obs::counter("past.audit.fail", 1);
+                ctx.record_peer_failure(p.holder.id);
+                ctx.demote_peer(p.holder.id);
+            }
+            _ => {}
+        }
+    }
+
+    /// An audit challenge timed out unanswered: treat like a failed
+    /// proof (unless the proof raced the timer and already settled it).
+    fn on_audit_timeout(&mut self, ctx: &mut PCtx<'_, '_>, seq: u64) {
+        if let Some(p) = self.audits.expire(seq, ctx.now(), &mut self.audit_stats) {
+            past_obs::counter("past.audit.timeout", 1);
+            ctx.record_peer_failure(p.holder.id);
+            ctx.demote_peer(p.holder.id);
         }
     }
 
@@ -786,7 +981,9 @@ impl Application for PastNode {
                 hops,
                 kind,
                 reverse_path,
-            } => self.on_lookup_hit(ctx, req, cert, hops, kind, reverse_path),
+                corrupted,
+                server,
+            } => self.on_lookup_hit(ctx, req, cert, hops, kind, reverse_path, corrupted, server),
             MsgKind::LookupMiss { req, file_id } => self.on_lookup_miss(ctx, req, file_id),
             MsgKind::FetchDiverted {
                 req,
@@ -836,6 +1033,13 @@ impl Application for PastNode {
                 }
             }
             MsgKind::MaintAck { seq } => self.on_maint_ack(ctx, seq),
+            MsgKind::AuditChallenge {
+                seq,
+                file_id,
+                nonce,
+                auditor,
+            } => self.on_audit_challenge(ctx, seq, file_id, nonce, auditor),
+            MsgKind::AuditProof { seq, proof, .. } => self.on_audit_proof(ctx, seq, proof),
             MsgKind::Insert { .. } | MsgKind::Lookup { .. } | MsgKind::Reclaim { .. } => {
                 debug_assert!(false, "routed message arrived as a direct message");
             }
@@ -848,6 +1052,9 @@ impl Application for PastNode {
         }
         if self.cfg.anti_entropy_period.micros() > 0 {
             ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
+        }
+        if self.cfg.audit_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.audit_period, AUDIT_SWEEP_TOKEN);
         }
     }
 
@@ -867,6 +1074,9 @@ impl Application for PastNode {
         }
         if self.cfg.anti_entropy_period.micros() > 0 {
             ctx.set_app_timer(self.cfg.anti_entropy_period, ANTI_ENTROPY_TOKEN);
+        }
+        if self.cfg.audit_period.micros() > 0 {
+            ctx.set_app_timer(self.cfg.audit_period, AUDIT_SWEEP_TOKEN);
         }
         let inventory = match Self::decode_inventory(payload) {
             Some(v) => v,
@@ -910,6 +1120,13 @@ impl Application for PastNode {
             self.on_maint_retry(ctx, token - MAINT_RETRY_BASE);
         } else if token >= TIMEOUT_BASE {
             self.on_timeout(ctx, token - TIMEOUT_BASE);
+        } else if token >= AUDIT_TIMEOUT_BASE {
+            self.on_audit_timeout(ctx, token - AUDIT_TIMEOUT_BASE);
+        } else if token == AUDIT_SWEEP_TOKEN {
+            self.audit_sweep(ctx);
+            if self.cfg.audit_period.micros() > 0 {
+                ctx.set_app_timer(self.cfg.audit_period, AUDIT_SWEEP_TOKEN);
+            }
         }
     }
 }

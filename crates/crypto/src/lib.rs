@@ -12,10 +12,13 @@
 //!   experiments (see the module docs for the security caveats — neither
 //!   instantiation is production crypto, by design of the reproduction).
 //! - [`cert`]: file certificates, reclaim certificates and store receipts.
+//! - [`audit`]: challenge-response possession proofs (SHA-1 over
+//!   file ‖ nonce) for sampled storage audits.
 //! - [`smartcard`]: the smartcard model — issuer-certified key pairs,
 //!   tamper-proof nodeId derivation, per-card storage quotas.
 //! - [`quota`]: the quota ledger that keeps storage demand below supply.
 
+pub mod audit;
 pub mod cert;
 pub mod memo;
 pub mod quota;
@@ -24,6 +27,7 @@ pub mod sign;
 pub mod smartcard;
 mod u256;
 
+pub use audit::{audit_nonce, possession_proof, verify_possession};
 pub use cert::{compute_file_id, CertError, FileCertificate, ReclaimCertificate, StoreReceipt};
 pub use memo::VerifyMemo;
 pub use quota::{QuotaError, QuotaLedger};

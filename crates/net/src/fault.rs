@@ -64,6 +64,43 @@ struct LinkLoss {
     p: f64,
 }
 
+/// The misbehavior strategy of one Byzantine node.
+///
+/// The network layer only *assigns* strategies (seeded, per node, as
+/// part of a [`FaultPlan`]); the storage protocol acts them out. All
+/// flags default to `false` — an all-default behavior is an honest
+/// node.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ByzantineBehavior {
+    /// Silently drop every replica the node currently stores (and
+    /// refuse to hand replicas to maintenance fetches).
+    pub drop_replicas: bool,
+    /// Acknowledge new stores with a receipt, then discard the bytes.
+    pub ack_then_discard: bool,
+    /// Answer lookups and audits from a corrupted copy of the content.
+    pub corrupt_content: bool,
+    /// Advertise the full disk capacity as free space, attracting
+    /// replica diversions it then mishandles.
+    pub inflate_free: bool,
+}
+
+impl ByzantineBehavior {
+    /// The full adversary: every strategy at once.
+    pub fn full() -> Self {
+        ByzantineBehavior {
+            drop_replicas: true,
+            ack_then_discard: true,
+            corrupt_content: true,
+            inflate_free: true,
+        }
+    }
+
+    /// Whether any misbehavior is enabled.
+    pub fn is_malicious(&self) -> bool {
+        self.drop_replicas || self.ack_then_discard || self.corrupt_content || self.inflate_free
+    }
+}
+
 /// A deterministic schedule of injected faults.
 ///
 /// Built with chained constructors; all randomness used while *building*
@@ -96,6 +133,9 @@ pub struct FaultPlan {
     /// crash_at/recover_at calls do not). Harnesses read these to
     /// report downtime distributions.
     downtimes: Vec<(Addr, SimDuration)>,
+    /// Per-node Byzantine strategies. The network layer carries the
+    /// assignment; the harness installs it into the protocol nodes.
+    byzantine: Vec<(Addr, ByzantineBehavior)>,
 }
 
 impl FaultPlan {
@@ -182,6 +222,47 @@ impl FaultPlan {
             }
         }
         self
+    }
+
+    /// Marks one node Byzantine with an explicit strategy. A later
+    /// mark for the same address replaces the earlier one.
+    pub fn mark_byzantine(mut self, addr: Addr, behavior: ByzantineBehavior) -> Self {
+        self.byzantine.retain(|(a, _)| *a != addr);
+        self.byzantine.push((addr, behavior));
+        self
+    }
+
+    /// Overlays a seeded Byzantine-node assignment: a `fraction` of
+    /// `nodes` (rounded to the nearest count) is selected uniformly
+    /// without replacement and given the full adversary strategy
+    /// ([`ByzantineBehavior::full`]). Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= fraction <= 1.0`.
+    pub fn byzantine(mut self, seed: u64, nodes: &[Addr], fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "byzantine fraction out of range"
+        );
+        let count = ((nodes.len() as f64) * fraction).round() as usize;
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Partial Fisher–Yates: the first `count` slots end up holding
+        // a uniform sample without replacement.
+        let mut pool: Vec<Addr> = nodes.to_vec();
+        for i in 0..count.min(pool.len()) {
+            let j = i + rng.gen_range(0..pool.len() - i);
+            pool.swap(i, j);
+            self = self.mark_byzantine(pool[i], ByzantineBehavior::full());
+        }
+        self
+    }
+
+    /// The Byzantine assignment, sorted by address.
+    pub fn byzantine_nodes(&self) -> Vec<(Addr, ByzantineBehavior)> {
+        let mut b = self.byzantine.clone();
+        b.sort_by_key(|(a, _)| *a);
+        b
     }
 
     /// The crash/recover schedule in timestamp order (ties keep
@@ -377,6 +458,54 @@ mod tests {
             crashes,
             "every generated crash records its downtime"
         );
+    }
+
+    #[test]
+    fn byzantine_assignment_deterministic_and_sized() {
+        let nodes: Vec<Addr> = (1..=20).map(Addr).collect();
+        let mk = |seed| FaultPlan::new().byzantine(seed, &nodes, 0.2).byzantine_nodes();
+        let a = mk(3);
+        assert_eq!(a, mk(3), "same seed must give the same assignment");
+        assert_eq!(a.len(), 4, "20% of 20 nodes");
+        // Distinct addresses drawn from the pool, full adversary each.
+        for w in a.windows(2) {
+            assert!(w[0].0 < w[1].0);
+        }
+        for (addr, b) in &a {
+            assert!(nodes.contains(addr));
+            assert_eq!(*b, ByzantineBehavior::full());
+        }
+        assert_ne!(mk(3), mk(4), "seed changes the selection");
+    }
+
+    #[test]
+    fn byzantine_fraction_bounds() {
+        let nodes: Vec<Addr> = (1..=10).map(Addr).collect();
+        assert!(FaultPlan::new()
+            .byzantine(1, &nodes, 0.0)
+            .byzantine_nodes()
+            .is_empty());
+        assert_eq!(
+            FaultPlan::new()
+                .byzantine(1, &nodes, 1.0)
+                .byzantine_nodes()
+                .len(),
+            10
+        );
+        // Default behavior is honest; mark replaces earlier marks.
+        assert!(!ByzantineBehavior::default().is_malicious());
+        let plan = FaultPlan::new()
+            .mark_byzantine(Addr(3), ByzantineBehavior::full())
+            .mark_byzantine(
+                Addr(3),
+                ByzantineBehavior {
+                    corrupt_content: true,
+                    ..Default::default()
+                },
+            );
+        let b = plan.byzantine_nodes();
+        assert_eq!(b.len(), 1);
+        assert!(b[0].1.corrupt_content && !b[0].1.drop_replicas);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 //!   layout of §5.2) and [`UniformTopology`].
 //! - [`FaultPlan`]: deterministic, seeded fault injection — crash and
 //!   recovery schedules (including Poisson churn), per-link message
-//!   loss, latency jitter, and two-sided network partitions.
+//!   loss, latency jitter, two-sided network partitions, and seeded
+//!   per-node Byzantine strategy assignment ([`ByzantineBehavior`]).
 //! - [`SimTime`]/[`SimDuration`] and [`Addr`] vocabulary types.
 
 mod addr;
@@ -32,7 +33,7 @@ mod time;
 mod topology;
 
 pub use addr::Addr;
-pub use fault::{FaultPlan, NodeFault, Partition};
+pub use fault::{ByzantineBehavior, FaultPlan, NodeFault, Partition};
 pub use proto::{Ctx, NetStats, Protocol};
 pub use sharded::ShardedSim;
 pub use sim::Simulator;

@@ -59,6 +59,16 @@ pub struct PastryConfig {
     /// the whole leaf set. Zero means "no bound" (probe every restored
     /// leaf member, like a cold recovery does).
     pub restart_probe_fanout: usize,
+    /// Reliability-driven routing-table demotion: each keep-alive sweep
+    /// evicts routing-table candidates whose decayed peer score fell
+    /// below [`PastryConfig::demote_threshold_milli`] (leaf-set members
+    /// are exempt — the failure detector owns them). Requires
+    /// `track_reliability`; off by default.
+    pub demote_unreliable: bool,
+    /// Score floor (milli-units, 0–1000) below which a routing-table
+    /// candidate is demoted. The uninformed prior is 500, so the
+    /// default of 250 only evicts peers with sustained failure evidence.
+    pub demote_threshold_milli: u64,
 }
 
 impl Default for PastryConfig {
@@ -77,6 +87,8 @@ impl Default for PastryConfig {
             track_reliability: false,
             reliability_half_life: SimDuration::from_secs(300),
             restart_probe_fanout: 8,
+            demote_unreliable: false,
+            demote_threshold_milli: 250,
         }
     }
 }
@@ -121,6 +133,7 @@ mod tests {
         // byte-identical to the paper configuration.
         assert!(!c.warm_restart);
         assert!(!c.track_reliability);
+        assert!(!c.demote_unreliable);
     }
 
     #[test]

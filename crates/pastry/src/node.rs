@@ -191,6 +191,7 @@ pub struct AppCtx<'a, 'b, M, U> {
     state: &'a PastryState,
     cfg: &'a PastryConfig,
     scores: &'a RefCell<PeerScoreTable>,
+    demotions: &'a RefCell<Vec<NodeId>>,
     net: &'a mut Ctx<'b, Envelope<M>, U>,
 }
 
@@ -309,6 +310,16 @@ impl<'a, 'b, M: Clone, U> AppCtx<'a, 'b, M, U> {
             past_obs::observe("pastry.peer.reliability", scores.reliability_milli(id, now));
         }
     }
+
+    /// Queues `id` for demotion once the current callback returns: the
+    /// overlay evicts it from the leaf set and routing table exactly as
+    /// if it had failed (including the gossiped failure notice) and
+    /// *shuns* it — the node is never re-admitted into this node's
+    /// Pastry state. Used by the audit layer against peers caught
+    /// failing a possession proof or serving corrupted content.
+    pub fn demote_peer(&mut self, id: NodeId) {
+        self.demotions.borrow_mut().push(id);
+    }
 }
 
 /// A routed message awaiting evidence that its next hop is alive
@@ -337,6 +348,11 @@ pub struct PastryNode<A: Application> {
     /// Per-peer reliability evidence (RefCell: the table is updated
     /// through `AppCtx` while the Pastry state is immutably borrowed).
     scores: RefCell<PeerScoreTable>,
+    /// Demotions queued by the application via [`AppCtx::demote_peer`],
+    /// applied (eviction + shun) after the callback returns.
+    demotions: RefCell<Vec<NodeId>>,
+    /// Peers this node refuses to re-admit (failed storage audits).
+    shunned: std::collections::BTreeSet<NodeId>,
     /// Encoded [`NodeSnapshot`] captured at crash time (warm restarts).
     snapshot_bytes: Option<Vec<u8>>,
     /// Recoveries that restored state from a snapshot.
@@ -361,6 +377,8 @@ impl<A: Application> PastryNode<A> {
             pending_forwards: IdHashMap::default(),
             next_forward_id: 0,
             scores,
+            demotions: RefCell::new(Vec::new()),
+            shunned: std::collections::BTreeSet::new(),
             snapshot_bytes: None,
             restarts_warm: 0,
             restarts_cold: 0,
@@ -415,21 +433,52 @@ impl<A: Application> PastryNode<A> {
     where
         F: FnOnce(&mut A, &mut AppCtx<'_, '_, A::Msg, A::Upcall>),
     {
-        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
         f(&mut self.app, &mut app_ctx);
+        self.drain_demotions(ctx);
+    }
+
+    /// Peers this node shuns (failed storage audits or corrupted
+    /// serving). Shunned peers are never re-admitted to the leaf set,
+    /// routing table or neighborhood set.
+    pub fn shunned(&self) -> &std::collections::BTreeSet<NodeId> {
+        &self.shunned
     }
 
     fn app_ctx<'a, 'b>(
         state: &'a PastryState,
         cfg: &'a PastryConfig,
         scores: &'a RefCell<PeerScoreTable>,
+        demotions: &'a RefCell<Vec<NodeId>>,
         net: &'a mut Ctx<'b, Envelope<A::Msg>, A::Upcall>,
     ) -> AppCtx<'a, 'b, A::Msg, A::Upcall> {
         AppCtx {
             state,
             cfg,
             scores,
+            demotions,
             net,
+        }
+    }
+
+    /// Applies demotions the application queued during its callbacks:
+    /// each demoted peer is shunned and evicted through the normal
+    /// failure path (leaf-set repair, failure-notice gossip, the app's
+    /// `on_neighbor_removed`). Loops because the eviction callbacks can
+    /// themselves queue further demotions.
+    fn drain_demotions(&mut self, ctx: &mut Ctx<'_, Envelope<A::Msg>, A::Upcall>) {
+        loop {
+            let batch: Vec<NodeId> = std::mem::take(&mut *self.demotions.borrow_mut());
+            if batch.is_empty() {
+                return;
+            }
+            for id in batch {
+                if id == self.state.own().id || !self.shunned.insert(id) {
+                    continue;
+                }
+                past_obs::counter("pastry.peer.shunned", 1);
+                self.handle_failure(ctx, id, true);
+            }
         }
     }
 
@@ -459,6 +508,11 @@ impl<A: Application> PastryNode<A> {
         if entry.id == self.state.own().id {
             return;
         }
+        // A shunned peer (failed storage audit) never re-enters this
+        // node's Pastry state, no matter who vouches for it.
+        if !self.shunned.is_empty() && self.shunned.contains(&entry.id) {
+            return;
+        }
         // `last_heard` has exactly two readers — the keep-alive sweep and
         // the forward-ack check — both disabled in static-overlay replay
         // configs, so the per-message timestamp write would be pure
@@ -477,7 +531,7 @@ impl<A: Application> PastryNode<A> {
         let proximity = ctx.proximity(entry.addr);
         let change = self.state.on_node_seen(entry, proximity);
         if change == LeafChange::Added {
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
             self.app.on_neighbor_added(&mut app_ctx, entry);
         }
     }
@@ -529,7 +583,7 @@ impl<A: Application> PastryNode<A> {
                 self.send(ctx, e.addr, Body::LeafSetRequest);
             }
             if let Some(entry) = entry {
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
                 self.app.on_neighbor_removed(&mut app_ctx, entry);
             }
         }
@@ -555,12 +609,12 @@ impl<A: Application> PastryNode<A> {
             NextHop::Local => {
                 past_obs::counter("pastry.delivered", 1);
                 past_obs::observe("pastry.route.hops", hops as u64);
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
                 self.app.deliver(&mut app_ctx, key, msg, hops, source);
             }
             NextHop::Forward(next) => {
                 let keep_going = {
-                    let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+                    let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
                     self.app.forward(&mut app_ctx, key, &mut msg, hops, source)
                 };
                 if keep_going {
@@ -689,7 +743,7 @@ impl<A: Application> PastryNode<A> {
             for n in &known {
                 self.send(ctx, n.addr, Body::Announce);
             }
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
             self.app.on_joined(&mut app_ctx);
         }
     }
@@ -790,7 +844,7 @@ impl<A: Application> PastryNode<A> {
             self.send(ctx, m.addr, Body::Announce);
         }
         let app_payload = snap.app;
-        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+        let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
         self.app.on_restore(&mut app_ctx, &app_payload);
     }
 }
@@ -817,7 +871,7 @@ impl<A: Application> Protocol for PastryNode<A> {
             }
             None => {
                 self.joined = true;
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
                 self.app.on_joined(&mut app_ctx);
             }
         }
@@ -919,16 +973,18 @@ impl<A: Application> Protocol for PastryNode<A> {
                 self.handle_failure(ctx, failed, false);
             }
             Body::App(msg) => {
-                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+                let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
                 self.app.on_app_message(&mut app_ctx, sender, msg);
             }
         }
+        self.drain_demotions(ctx);
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Self::Msg, Self::Upcall>, token: u64) {
         if token >= APP_TOKEN_BASE {
-            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, ctx);
+            let mut app_ctx = Self::app_ctx(&self.state, &self.cfg, &self.scores, &self.demotions, ctx);
             self.app.on_app_timer(&mut app_ctx, token - APP_TOKEN_BASE);
+            self.drain_demotions(ctx);
             return;
         }
         if token >= FWD_TOKEN_BASE {
@@ -944,6 +1000,20 @@ impl<A: Application> Protocol for PastryNode<A> {
                 self.handle_failure(ctx, m.id, true);
             } else if now - heard >= self.cfg.keep_alive_period {
                 self.send(ctx, m.addr, Body::Ping);
+            }
+        }
+        // Reliability-driven routing-table hygiene: evict candidates
+        // whose decayed peer score fell below the demotion threshold
+        // (leaf-set members are exempt — the failure detector above
+        // owns their fate).
+        if self.cfg.track_reliability && self.cfg.demote_unreliable {
+            let victims = self.state.demote_unreliable_candidates(
+                &self.scores.borrow(),
+                now,
+                self.cfg.demote_threshold_milli,
+            );
+            for _ in &victims {
+                past_obs::counter("pastry.table.demoted", 1);
             }
         }
         if self.cfg.keep_alive_period.micros() > 0 {

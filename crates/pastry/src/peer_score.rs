@@ -241,4 +241,89 @@ mod tests {
         let early = t.reliability_milli(id(1), SimTime(0));
         assert_eq!(t.reliability_milli(id(1), SimTime(u64::MAX)), early);
     }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// An arbitrary bounded evidence sequence: (success?, gap µs).
+        fn evidence() -> impl Strategy<Value = Vec<(bool, u64)>> {
+            prop::collection::vec((any::<bool>(), 0u64..10 * H.micros()), 0..64)
+        }
+
+        proptest! {
+            #[test]
+            fn prop_score_stays_within_bounds(seq in evidence()) {
+                let mut t = PeerScoreTable::new(H);
+                let mut now = SimTime(0);
+                for (success, gap) in seq {
+                    now += SimDuration::from_micros(gap);
+                    if success {
+                        t.record_success(id(7), now);
+                    } else {
+                        t.record_failure(id(7), now);
+                    }
+                    let rel = t.reliability_milli(id(7), now);
+                    prop_assert!(rel <= 1000, "score {rel} escaped [0, 1000]");
+                }
+            }
+
+            #[test]
+            fn prop_decay_monotone_toward_prior(
+                seq in evidence(),
+                probes in prop::collection::vec(0u64..100 * H.micros(), 1..16),
+            ) {
+                let mut t = PeerScoreTable::new(H);
+                let mut now = SimTime(0);
+                for (success, gap) in seq {
+                    now += SimDuration::from_micros(gap);
+                    if success {
+                        t.record_success(id(7), now);
+                    } else {
+                        t.record_failure(id(7), now);
+                    }
+                }
+                // After the last evidence, the score only ever moves
+                // toward the prior, never past it and never away.
+                let mut probes = probes;
+                probes.sort_unstable();
+                let at_last = t.reliability_milli(id(7), now);
+                let mut prev = at_last;
+                for gap in probes {
+                    let cur = t.reliability_milli(id(7), now + SimDuration::from_micros(gap));
+                    if at_last >= RELIABILITY_PRIOR_MILLI {
+                        prop_assert!(cur <= prev && cur >= RELIABILITY_PRIOR_MILLI);
+                    } else {
+                        prop_assert!(cur >= prev && cur <= RELIABILITY_PRIOR_MILLI);
+                    }
+                    prev = cur;
+                }
+            }
+
+            #[test]
+            fn prop_same_evidence_same_score(seq in evidence()) {
+                // Determinism: two tables fed the identical evidence
+                // stream agree exactly — the property that makes scores
+                // safe as sort keys and invariant across shard counts.
+                let mut a = PeerScoreTable::new(H);
+                let mut b = PeerScoreTable::new(H);
+                let mut now = SimTime(0);
+                for (success, gap) in seq {
+                    now += SimDuration::from_micros(gap);
+                    if success {
+                        a.record_success(id(7), now);
+                        b.record_success(id(7), now);
+                    } else {
+                        a.record_failure(id(7), now);
+                        b.record_failure(id(7), now);
+                    }
+                }
+                prop_assert_eq!(a.entries_sorted(), b.entries_sorted());
+                prop_assert_eq!(
+                    a.reliability_milli(id(7), now + H),
+                    b.reliability_milli(id(7), now + H)
+                );
+            }
+        }
+    }
 }

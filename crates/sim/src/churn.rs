@@ -20,12 +20,15 @@
 //! `churn_availability` benchmark can assert on individual violations
 //! instead of a boolean.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
-use past_core::{MaintStats, PastConfig, PastEvent, PastNode, PastOverlayNode};
+use past_core::{AuditStats, MaintStats, PastConfig, PastEvent, PastNode, PastOverlayNode};
 use past_crypto::{KeyPair, Scheme};
 use past_id::FileId;
-use past_net::{Addr, EuclideanTopology, FaultPlan, NetStats, SimDuration, Simulator};
+use past_net::{
+    Addr, ByzantineBehavior, EuclideanTopology, FaultPlan, NetStats, SimDuration, SimTime,
+    Simulator,
+};
 
 use crate::engine::Engine;
 use past_pastry::{NodeEntry, PastryConfig, PastryNode};
@@ -112,6 +115,11 @@ pub struct InvariantReport {
     pub quota_expected: u64,
     /// Bytes the ledger actually charges.
     pub quota_used: u64,
+    /// Nodes running a Byzantine strategy at audit time.
+    pub byzantine_nodes: usize,
+    /// Copies counted above that sit on a malicious holder
+    /// (informational: such copies are liabilities, not assets).
+    pub replicas_on_malicious: usize,
 }
 
 impl InvariantReport {
@@ -157,6 +165,14 @@ pub struct ChurnRunner {
     /// [`Self::run_with_faults`] (from `FaultPlan::downtimes`), so runs
     /// can report downtime distributions alongside availability.
     downtimes: Vec<(Addr, SimDuration)>,
+    /// Nodes currently running a Byzantine strategy (installed through
+    /// [`Self::apply_byzantine`]).
+    malicious: BTreeSet<Addr>,
+    /// When the Byzantine strategies were switched on (detection
+    /// latency is measured from here).
+    malice_start: Option<SimTime>,
+    /// Lookups whose final answer was corrupted content.
+    corrupted_lookups: u64,
 }
 
 /// The client access point; excluded from churn plans built by
@@ -204,6 +220,9 @@ impl ChurnRunner {
             workload_rng,
             metrics_label: None,
             downtimes: Vec::new(),
+            malicious: BTreeSet::new(),
+            malice_start: None,
+            corrupted_lookups: 0,
         }
     }
 
@@ -381,6 +400,106 @@ impl ChurnRunner {
         &self.downtimes
     }
 
+    /// Builds a Byzantine plan converting `fraction` of the non-client
+    /// nodes to adversarial strategies (deterministic in the seed).
+    ///
+    /// Node *selection* uses [`FaultPlan::byzantine`]'s uniform sample;
+    /// the uniform `full()` strategy it assigns is then replaced with a
+    /// deterministic mix cycling through the four behaviors (in sorted
+    /// address order) so every adversary class is represented: a full
+    /// adversary drops its copies and therefore never serves corrupted
+    /// content, which would make residual-corruption measurements
+    /// vacuous.
+    pub fn byzantine_plan(&self, fraction: f64) -> FaultPlan {
+        let victims: Vec<Addr> = (1..self.cfg.nodes).map(|i| Addr(i as u32)).collect();
+        let selected = FaultPlan::new().byzantine(self.cfg.seed ^ 0xb42, &victims, fraction);
+        let mut plan = FaultPlan::new();
+        for (i, (addr, _)) in selected.byzantine_nodes().into_iter().enumerate() {
+            let behavior = match i % 4 {
+                0 => ByzantineBehavior {
+                    corrupt_content: true,
+                    ..Default::default()
+                },
+                1 => ByzantineBehavior {
+                    drop_replicas: true,
+                    ..Default::default()
+                },
+                2 => ByzantineBehavior {
+                    ack_then_discard: true,
+                    inflate_free: true,
+                    ..Default::default()
+                },
+                _ => ByzantineBehavior::full(),
+            };
+            plan = plan.mark_byzantine(addr, behavior);
+        }
+        plan
+    }
+
+    /// Flips the plan's Byzantine nodes to their assigned strategies.
+    /// Nodes with `drop_replicas` discard their stored primaries on the
+    /// spot (the "silently lose data" adversary); the other behaviors
+    /// take effect on future message handling.
+    pub fn apply_byzantine(&mut self, plan: &FaultPlan) {
+        for (addr, behavior) in plan.byzantine_nodes() {
+            if let Some(node) = self.sim.node_mut(addr) {
+                node.app_mut().set_malice(behavior);
+                if behavior.drop_replicas {
+                    node.app_mut().malice_drop_replicas();
+                }
+                self.malicious.insert(addr);
+            }
+        }
+        if !self.malicious.is_empty() && self.malice_start.is_none() {
+            self.malice_start = Some(self.sim.now());
+        }
+    }
+
+    /// Nodes currently running a Byzantine strategy.
+    pub fn malicious(&self) -> &BTreeSet<Addr> {
+        &self.malicious
+    }
+
+    /// Lookups whose *final* answer was corrupted content (after any
+    /// verify-and-retry rounds) — the residual corruption the defense
+    /// failed to filter.
+    pub fn corrupted_lookups(&self) -> u64 {
+        self.corrupted_lookups
+    }
+
+    /// Audit counters `(challenges, passed, failed, timeouts)` summed
+    /// over every node.
+    pub fn audit_totals(&self) -> (u64, u64, u64, u64) {
+        let mut total = AuditStats::default();
+        for e in &self.entries {
+            if let Some(n) = self.sim.node(e.addr) {
+                let s = n.app().audit_stats();
+                total.challenges += s.challenges;
+                total.passed += s.passed;
+                total.failed += s.failed;
+                total.timeouts += s.timeouts;
+            }
+        }
+        (total.challenges, total.passed, total.failed, total.timeouts)
+    }
+
+    /// The earliest moment any auditor convicted a holder (first failed
+    /// or timed-out audit anywhere in the overlay).
+    pub fn first_detection(&self) -> Option<SimTime> {
+        self.entries
+            .iter()
+            .filter_map(|e| self.sim.node(e.addr))
+            .filter_map(|n| n.app().audit_stats().first_detection)
+            .min()
+    }
+
+    /// Time from switching the adversary on to the first audit
+    /// conviction anywhere (None if nothing was detected yet, or no
+    /// adversary was installed).
+    pub fn detection_latency(&self) -> Option<SimDuration> {
+        Some(self.first_detection()? - self.malice_start?)
+    }
+
     /// `(count, mean, max)` of the downtimes run so far (micros), or
     /// `None` if no timed outage was installed.
     pub fn downtime_summary(&self) -> Option<(usize, u64, u64)> {
@@ -404,7 +523,14 @@ impl ChurnRunner {
         let mut buf = Vec::new();
         for i in 0..count {
             let (fid, _) = self.files[i % self.files.len()];
-            let live: Vec<Addr> = self.sim.live_addrs();
+            let mut live: Vec<Addr> = self.sim.live_addrs();
+            // Honest clients only: a malicious issuer would "lose" its
+            // own request. The filter is gated on the set being
+            // non-empty so default (adversary-free) runs draw the exact
+            // same workload_rng sequence as before.
+            if !self.malicious.is_empty() {
+                live.retain(|a| !self.malicious.contains(a));
+            }
             if live.is_empty() {
                 break;
             }
@@ -418,9 +544,17 @@ impl ChurnRunner {
             self.lookups_attempted += 1;
             self.sim.drain_upcalls_into(&mut buf);
             for (_, _, ev) in buf.drain(..) {
-                if let PastEvent::LookupDone { found: true, .. } = ev {
-                    ok += 1;
-                    self.lookups_ok += 1;
+                if let PastEvent::LookupDone {
+                    found, corrupted, ..
+                } = ev
+                {
+                    if corrupted {
+                        self.corrupted_lookups += 1;
+                    }
+                    if found {
+                        ok += 1;
+                        self.lookups_ok += 1;
+                    }
                 }
             }
         }
@@ -584,6 +718,25 @@ impl ChurnRunner {
                 if app.store().backup_pointer(*fid).is_none() {
                     report.orphan_certs += 1;
                 }
+            }
+        }
+
+        // Informational adversary accounting (never flips is_clean():
+        // a copy on a malicious holder still satisfies replication by
+        // count; the defense layer's job is to migrate it away, and the
+        // benchmarks watch this counter trend to zero).
+        for e in &self.entries {
+            if !self.malicious.contains(&e.addr) || !self.sim.is_up(e.addr) {
+                continue;
+            }
+            report.byzantine_nodes += 1;
+            if let Some(n) = self.sim.node(e.addr) {
+                report.replicas_on_malicious += n
+                    .app()
+                    .store()
+                    .primaries()
+                    .filter(|(fid, _)| self.files.iter().any(|&(f, _)| f == **fid))
+                    .count();
             }
         }
 

@@ -126,6 +126,11 @@ impl ExperimentConfig {
             anti_entropy_period: SimDuration::ZERO,
             anti_entropy_batch: 8,
             warm_restart: self.warm_restart,
+            // Byzantine defenses stay off in the paper-replay setup.
+            audit_period: SimDuration::ZERO,
+            audit_batch: 4,
+            audit_timeout: SimDuration::from_secs(2),
+            verify_lookup_content: false,
         }
     }
 

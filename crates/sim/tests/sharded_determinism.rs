@@ -164,6 +164,97 @@ fn churn_run_is_shard_count_invariant() {
     }
 }
 
+/// One adversarial churn run with the full defense stack armed:
+/// sampled audits, lookup content verification, reliability tracking,
+/// and routing-table demotion. Every observable the byzantine bench
+/// reads goes into the fingerprint.
+fn byz_fingerprint(shards: usize, fraction: f64, audits: bool) -> Vec<u64> {
+    let mut cfg = ChurnConfig {
+        nodes: 20,
+        seed: 7,
+        files: 6,
+        shards,
+        ..Default::default()
+    };
+    if audits {
+        cfg.past.audit_period = SimDuration::from_secs(10);
+        cfg.past.audit_timeout = SimDuration::from_secs(2);
+        cfg.past.verify_lookup_content = true;
+        cfg.pastry.track_reliability = true;
+        cfg.pastry.demote_unreliable = true;
+    }
+    let mut r = ChurnRunner::build(cfg);
+    let inserted = r.insert_files() as u64;
+    let plan = r.byzantine_plan(fraction);
+    r.apply_byzantine(&plan);
+    r.run_for(SimDuration::from_secs(90));
+    r.discard_upcalls();
+    let found = r.lookup_round(12, SimDuration::from_secs(1)) as u64;
+    let audit = r.audit();
+    let (challenges, passed, failed, timeouts) = r.audit_totals();
+    let shunned: u64 = r
+        .entries()
+        .iter()
+        .filter_map(|e| r.engine().node(e.addr))
+        .map(|n| n.shunned().len() as u64)
+        .sum();
+    let detection = r.detection_latency().map(|d| d.micros()).unwrap_or(0);
+    let net = r.net_stats();
+    vec![
+        inserted,
+        found,
+        r.corrupted_lookups(),
+        challenges,
+        passed,
+        failed,
+        timeouts,
+        detection,
+        shunned,
+        net.events,
+        net.delivered,
+        net.timers_fired,
+        audit.live_nodes as u64,
+        audit.byzantine_nodes as u64,
+        audit.replicas_on_malicious as u64,
+    ]
+}
+
+/// Adversarial regression: a fixed-seed byzantine run (20% malicious,
+/// audits + verification + demotion all armed) must produce identical
+/// observables on the legacy engine and at every shard count. The
+/// defense layer draws no engine randomness (audit nonces and holder
+/// sampling are hash-derived), so this must hold exactly.
+#[test]
+fn byzantine_run_is_shard_count_invariant() {
+    let base = byz_fingerprint(0, 0.2, true);
+    assert!(base[3] > 0, "audits must issue challenges");
+    assert!(base[5] + base[6] > 0, "the adversary must be detected");
+    for shards in [1usize, 2, 4] {
+        assert_eq!(
+            base,
+            byz_fingerprint(shards, 0.2, true),
+            "byzantine run diverged at {shards} shards"
+        );
+    }
+}
+
+/// With the adversary fraction at zero and every defense knob off, the
+/// byzantine plumbing must be completely inert: the sharded run stays
+/// byte-identical to the legacy engine.
+#[test]
+fn byzantine_off_run_matches_legacy_engine() {
+    let base = byz_fingerprint(0, 0.0, false);
+    assert_eq!(base[2], 0, "no adversary, no corrupted lookups");
+    assert_eq!(base[3], 0, "audits off, no challenges");
+    for shards in [1usize, 2] {
+        assert_eq!(
+            base,
+            byz_fingerprint(shards, 0.0, false),
+            "defense-off run diverged from legacy at {shards} shards"
+        );
+    }
+}
+
 /// The gated trace workloads (certificate verification off, randomized
 /// routing off, no loss/jitter) consume no simulator randomness, so the
 /// sharded engine's per-node RNG streams are behaviorally inert there —

@@ -105,4 +105,30 @@ print(f"warm smoke OK: bytes {cb} -> {wb} ({cb / wb:.1f}x), "
       f"lookup success {cold['lookup_success_rate']} -> {warm['lookup_success_rate']}")
 PY
 
+echo "== byzantine audit smoke (10% malicious, audits on vs off)"
+# The Byzantine defense contract: with 10% of the overlay malicious,
+# the audited run must end with ZERO residual corrupted lookups, detect
+# the adversary, and beat the undefended run on the same seed.
+PAST_BYZ_SMOKE=1 PAST_OUT_DIR="$perf_out/byz" \
+  cargo run --release -q -p past-bench --bin byzantine_audit --offline
+python3 - "$perf_out/byz/BENCH_byzantine.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+rows = {r["audits"]: r for r in report["rows"] if r["fraction"] == 0.10}
+assert set(rows) == {True, False}, f"missing audits on/off pair: {set(rows)}"
+on, off = rows[True], rows[False]
+assert on["malicious"] > 0, "10% fraction converted nobody"
+assert off["corrupted_lookups"] > 0, \
+    "undefended run saw no corruption - smoke scenario miscalibrated"
+assert on["corrupted_lookups"] == 0, \
+    f"audited run left residual corruption: {on['corrupted_lookups']}"
+assert on["corrupted_lookups"] < off["corrupted_lookups"], (on, off)
+assert on["challenges"] > 0 and on["failed"] + on["timeouts"] > 0, \
+    f"audits never convicted the adversary: {on}"
+assert on["detection_latency_s"] is not None, "no detection timestamp"
+print(f"byzantine smoke OK: corrupted {off['corrupted_lookups']} -> 0, "
+      f"detected in {on['detection_latency_s']}s, "
+      f"{on['shunned']} shun entries")
+PY
+
 echo "CI OK"
