@@ -26,36 +26,68 @@
 //!   the suite at 1 and 2 shards and diffs the counters).
 //! - `PAST_XL`: additionally run the 10,000-node / 1,000,000-file
 //!   open-loop insert workload (`xl` scale) on the sharded engine.
+//! - `PAST_XL2`: additionally run the 10,000-node / **10,000,000**-file
+//!   open-loop insert workload (`xl2`) against the lazy streaming
+//!   trace — the memory-wall row. Per-event records are thinned
+//!   (1-in-1024); the exact aggregate counters are unaffected.
 //! - `PAST_SHARD_THREADS`: worker threads for the sharded engine
 //!   (default: available cores − 1, capped at shards − 1).
 //! - `PAST_OUT_DIR`: redirect `BENCH_perf.json` and the CSV.
 //!
-//! Workloads run small before large so the process-wide `VmHWM`
-//! high-water mark read after each workload is attributable to the
-//! largest workload run so far.
+//! # Peak-RSS semantics (schema 3)
+//!
+//! Schema 2 reported `VmHWM` verbatim: a **process-wide** high-water
+//! mark, so every workload after the biggest one inherited its peak.
+//! Schema 3 resets the kernel watermark (`/proc/self/clear_refs`) at
+//! each workload's start, making `peak_rss_kb` a **per-workload**
+//! peak. Each row carries `peak_semantics`: `"since_reset"` when the
+//! reset succeeded, `"process_wide"` when the kernel refused it.
+//!
+//! With the `count-alloc` feature the binary installs `past-obs`'s
+//! counting allocator and prints per-site allocation totals to stderr
+//! after each trace workload (never into the JSON — the counts depend
+//! on allocator internals, not on the protocol).
 
 use std::io::Write as _;
 use std::time::Instant;
 
-use past_bench::{artifact_path, base_config, print_table, web_trace, write_csv, Scale};
+use past_bench::{artifact_path, base_config, print_table, web_stream, web_trace, write_csv, Scale};
 use past_net::{FaultPlan, SimDuration};
+use past_obs::mem;
 use past_sim::{ChurnConfig, ChurnRunner, Runner};
 use past_store::CachePolicyKind;
+use past_workload::Workload;
 
-/// Reads a `VmRSS:`-style line (kB) from `/proc/self/status`.
-fn proc_status_kb(key: &str) -> u64 {
-    let Ok(body) = std::fs::read_to_string("/proc/self/status") else {
-        return 0;
-    };
-    for line in body.lines() {
-        if let Some(rest) = line.strip_prefix(key) {
-            let rest = rest.trim_start_matches(':').trim();
-            if let Some(num) = rest.split_whitespace().next() {
-                return num.parse().unwrap_or(0);
-            }
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static COUNTING_ALLOC: past_obs::mem::count::CountingAlloc = past_obs::mem::count::CountingAlloc;
+
+/// Evaluates an expression with its allocations billed to a
+/// `past_obs::mem::count::Site` (no-op without the feature).
+macro_rules! alloc_site {
+    ($site:ident, $e:expr) => {{
+        #[cfg(feature = "count-alloc")]
+        {
+            past_obs::mem::count::with_site(past_obs::mem::count::Site::$site, || $e)
         }
+        #[cfg(not(feature = "count-alloc"))]
+        {
+            $e
+        }
+    }};
+}
+
+/// Prints the cumulative per-site allocation totals (feature-gated).
+fn report_alloc_sites(label: &str) {
+    #[cfg(feature = "count-alloc")]
+    for (site, calls, bytes) in past_obs::mem::count::site_totals() {
+        eprintln!(
+            "[perf_suite] alloc after {label}: {site} {calls} calls, {:.1} MB",
+            bytes as f64 / (1024.0 * 1024.0)
+        );
     }
-    0
+    #[cfg(not(feature = "count-alloc"))]
+    let _ = label;
 }
 
 struct Measured {
@@ -76,6 +108,19 @@ struct Measured {
     lookups_ok: u64,
     rss_kb: u64,
     peak_rss_kb: u64,
+    /// `"since_reset"` (per-workload peak) or `"process_wide"` (the
+    /// kernel refused the watermark reset — schema-2 semantics).
+    peak_semantics: &'static str,
+}
+
+/// Resets the kernel RSS watermark at a workload boundary and names
+/// the semantics the subsequent `VmHWM` read will have.
+fn begin_peak_window() -> &'static str {
+    if mem::reset_peak() {
+        "since_reset"
+    } else {
+        "process_wide"
+    }
 }
 
 impl Measured {
@@ -95,6 +140,7 @@ const PIPELINE_GAP: SimDuration = SimDuration::from_millis(2);
 
 /// Insert-heavy (storage experiment) or lookup-heavy (caching
 /// experiment) trace replay against a freshly built overlay.
+#[allow(clippy::too_many_arguments)]
 fn run_trace_workload(
     name: &'static str,
     scale_label: &'static str,
@@ -103,12 +149,25 @@ fn run_trace_workload(
     seed: u64,
     shards: usize,
     pipelined: bool,
+    streaming: bool,
+    record_every: usize,
 ) -> Measured {
     eprintln!(
-        "[perf_suite] {name} @ {scale_label} ({} nodes, {} files, {} shards) ...",
-        scale.nodes, scale.files, shards
+        "[perf_suite] {name} @ {scale_label} ({} nodes, {} files, {} shards{}) ...",
+        scale.nodes,
+        scale.files,
+        shards,
+        if streaming { ", streaming" } else { "" }
     );
-    let trace = web_trace(scale);
+    let peak_semantics = begin_peak_window();
+    // The streaming trace holds only packed per-file state (~5 B/file)
+    // and derives requests lazily; the materialized trace is the
+    // byte-identical legacy representation.
+    let trace: Box<dyn Workload> = if streaming {
+        alloc_site!(TraceBuild, Box::new(web_stream(scale)))
+    } else {
+        alloc_site!(TraceBuild, Box::new(web_trace(scale)))
+    };
     let mut cfg = base_config(scale);
     cfg.replay_lookups = replay_lookups;
     if replay_lookups {
@@ -118,16 +177,18 @@ fn run_trace_workload(
     cfg.seed = seed;
     cfg.shards = shards;
     let t0 = Instant::now();
-    let runner = Runner::build(cfg, &trace);
+    let runner =
+        alloc_site!(OverlayBuild, Runner::build(cfg, trace.as_ref())).with_record_sampling(record_every);
     let build_seconds = t0.elapsed().as_secs_f64();
-    let result = if pipelined {
-        runner.run_pipelined(&trace, PIPELINE_GAP)
-    } else {
-        runner.run(&trace)
-    };
-    let inserts_ok = result.inserts.iter().filter(|i| i.success).count() as u64;
-    let inserts_failed = result.inserts.len() as u64 - inserts_ok;
-    let lookups_ok = result.lookups.iter().filter(|l| l.found).count() as u64;
+    let result = alloc_site!(
+        Replay,
+        if pipelined {
+            runner.run_pipelined(trace.as_ref(), PIPELINE_GAP)
+        } else {
+            runner.run(trace.as_ref())
+        }
+    );
+    report_alloc_sites(name);
     Measured {
         name,
         scale_label,
@@ -139,12 +200,13 @@ fn run_trace_workload(
         wall_seconds: result.wall_seconds,
         events: result.net.events,
         delivered: result.net.delivered,
-        inserts_ok,
-        inserts_failed,
-        lookups: result.lookups.len() as u64,
-        lookups_ok,
-        rss_kb: proc_status_kb("VmRSS"),
-        peak_rss_kb: proc_status_kb("VmHWM"),
+        inserts_ok: result.inserts_ok,
+        inserts_failed: result.inserts_total - result.inserts_ok,
+        lookups: result.lookups_total,
+        lookups_ok: result.lookups_ok,
+        rss_kb: mem::rss_kb(),
+        peak_rss_kb: mem::peak_rss_kb(),
+        peak_semantics,
     }
 }
 
@@ -161,6 +223,7 @@ fn run_churn_workload(
     eprintln!(
         "[perf_suite] churn @ {scale_label} ({nodes} nodes, {files} files, {shards} shards) ..."
     );
+    let peak_semantics = begin_peak_window();
     let cfg = ChurnConfig {
         nodes,
         files,
@@ -206,8 +269,9 @@ fn run_churn_workload(
         inserts_failed: files as u64 - inserted,
         lookups: lookups as u64,
         lookups_ok: lookups_ok as u64,
-        rss_kb: proc_status_kb("VmRSS"),
-        peak_rss_kb: proc_status_kb("VmHWM"),
+        rss_kb: mem::rss_kb(),
+        peak_rss_kb: mem::peak_rss_kb(),
+        peak_semantics,
     }
 }
 
@@ -243,7 +307,7 @@ fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
          \"events\": {}, \"delivered\": {}, \"events_per_sec\": {:.0}, \
          \"inserts_ok\": {}, \"inserts_failed\": {}, \"lookups\": {}, \
          \"lookups_ok\": {}, \"rss_kb\": {}, \"peak_rss_kb\": {}, \
-         \"speedup_vs_baseline\": {}}}",
+         \"peak_semantics\": \"{}\", \"speedup_vs_baseline\": {}}}",
         m.name,
         m.scale_label,
         m.nodes,
@@ -261,6 +325,7 @@ fn workload_json(m: &Measured, baseline: Option<&str>) -> String {
         m.lookups_ok,
         m.rss_kb,
         m.peak_rss_kb,
+        m.peak_semantics,
         speedup,
     )
 }
@@ -315,6 +380,8 @@ fn main() {
             2001,
             env_shards,
             false,
+            false,
+            1,
         ));
         measured.push(run_trace_workload(
             "lookup_heavy",
@@ -324,6 +391,8 @@ fn main() {
             2002,
             env_shards,
             false,
+            false,
+            1,
         ));
         measured.push(run_churn_workload(label, scale, 42, env_shards));
     }
@@ -347,6 +416,8 @@ fn main() {
                 2003,
                 shards,
                 true,
+                false,
+                1,
             ));
         }
     }
@@ -368,6 +439,34 @@ fn main() {
             2004,
             shards,
             true,
+            false,
+            1,
+        ));
+    }
+
+    // The memory-wall scale: 10,000 nodes replaying a 10,000,000-file
+    // insert workload open-loop against the *streaming* trace. The
+    // materialized representation would spend minutes and hundreds of
+    // MB building a ~21M-entry request vector up front; the stream
+    // derives the identical op sequence lazily from packed per-file
+    // state. Per-event records are thinned 1-in-1024 (the exact
+    // counters below are unaffected) so the result vectors stay small.
+    if std::env::var_os("PAST_XL2").is_some() {
+        let xl2 = Scale {
+            nodes: 10_000,
+            files: 10_000_000,
+        };
+        let shards = if env_shards > 0 { env_shards } else { 8 };
+        measured.push(run_trace_workload(
+            "insert_pipelined",
+            "xl2",
+            xl2,
+            false,
+            2005,
+            shards,
+            true,
+            true,
+            1024,
         ));
     }
 
@@ -410,7 +509,7 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let mut json = String::new();
-    json.push_str("{\n  \"bench\": \"perf_suite\",\n  \"schema\": 2,\n");
+    json.push_str("{\n  \"bench\": \"perf_suite\",\n  \"schema\": 3,\n");
     json.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
     json.push_str("  \"workloads\": [\n");
     for (i, m) in measured.iter().enumerate() {

@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::io::Write as _;
 
 use past_sim::{ExperimentConfig, ExperimentResult};
-use past_workload::{FsTraceConfig, Trace, WebTraceConfig};
+use past_workload::{FsTraceConfig, StreamTrace, Trace, WebTraceConfig};
 
 /// Scale parameters shared by all experiment binaries.
 #[derive(Clone, Copy, Debug)]
@@ -48,6 +48,16 @@ pub fn web_trace(scale: Scale) -> Trace {
     WebTraceConfig::default()
         .with_unique_files(scale.files)
         .generate()
+}
+
+/// The standard web-proxy trace as a lazy [`StreamTrace`]: the same op
+/// sequence as [`web_trace`] (byte-identical; see
+/// `past_workload::stream`) without materializing the request vector —
+/// the form the 10M-file XL2 replay uses.
+pub fn web_stream(scale: Scale) -> StreamTrace {
+    WebTraceConfig::default()
+        .with_unique_files(scale.files)
+        .stream()
 }
 
 /// The filesystem trace for a scale.

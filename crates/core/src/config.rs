@@ -81,6 +81,13 @@ pub struct PastConfig {
     pub audit_period: SimDuration,
     /// Maximum files audited per sweep.
     pub audit_batch: usize,
+    /// Distinct holders challenged per sampled file per sweep
+    /// (clamped to the available other holders). The default of 1 is
+    /// the classic one-sample audit; 2 lets a single sweep
+    /// cross-examine two holders of the same file, and differing
+    /// verdicts are recorded as `AuditStats::disagreements` —
+    /// evidence of partial corruption that one sample cannot see.
+    pub audit_fanout: usize,
     /// How long the auditor waits for a possession proof before
     /// treating the challenge as failed.
     pub audit_timeout: SimDuration,
@@ -111,6 +118,7 @@ impl Default for PastConfig {
             warm_restart: false,
             audit_period: SimDuration::ZERO,
             audit_batch: 4,
+            audit_fanout: 1,
             audit_timeout: SimDuration::from_secs(2),
             verify_lookup_content: false,
         }

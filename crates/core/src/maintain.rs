@@ -159,12 +159,12 @@ impl PastNode {
         let mut displaced: Vec<(FileId, SharedFileCert)> = self
             .store
             .primaries()
-            .filter_map(|(id, replica)| {
+            .filter_map(|(id, cert)| {
                 let candidates = ctx.replica_candidates(id.as_key(), k);
                 let newcomer_in = candidates.iter().any(|c| c.id == node.id);
                 let self_out = !candidates.iter().any(|c| c.id == own.id);
                 if newcomer_in && self_out {
-                    Some((*id, replica.cert.clone()))
+                    Some((*id, cert.clone()))
                 } else {
                     None
                 }
@@ -203,7 +203,7 @@ impl PastNode {
         // and this node is the set's closest member, ship a copy to the
         // node that newly completes the set.
         let mut to_restore: Vec<(NodeEntry, SharedFileCert)> = Vec::new();
-        for (id, replica) in self.store.primaries() {
+        for (id, stored) in self.store.primaries() {
             let key = id.as_key();
             let candidates = ctx.replica_candidates(key, k);
             if candidates.is_empty() {
@@ -218,7 +218,7 @@ impl PastNode {
             if failed_was_in && i_am_closest {
                 let newcomer = *farthest;
                 if newcomer.id != own.id {
-                    to_restore.push((newcomer, replica.cert.clone()));
+                    to_restore.push((newcomer, stored.clone()));
                 }
             }
         }

@@ -658,27 +658,36 @@ impl PastNode {
             seed.extend_from_slice(file_id.as_bytes());
             let pick = past_crypto::audit_nonce(&seed, self.audit_stats.challenges) as usize
                 % candidates.len();
-            let holder = candidates[pick];
-            let (seq, nonce) = self.audits.issue(
-                &own_id,
-                file_id,
-                expected,
-                holder,
-                ctx.now(),
-                &mut self.audit_stats,
-            );
-            past_obs::counter("past.audit.challenge", 1);
-            self.send_to(
-                ctx,
-                holder,
-                MsgKind::AuditChallenge {
-                    seq,
+            // Cross-examination: challenge up to `audit_fanout`
+            // *distinct* holders of this file in the same sweep, so
+            // the AuditBook can record pass/fail disagreements
+            // (partial corruption one sample cannot witness). The
+            // default fanout of 1 reproduces the classic one-sample
+            // audit exactly.
+            let fanout = self.cfg.audit_fanout.max(1).min(candidates.len());
+            for j in 0..fanout {
+                let holder = candidates[(pick + j) % candidates.len()];
+                let (seq, nonce) = self.audits.issue(
+                    &own_id,
                     file_id,
-                    nonce,
-                    auditor: own,
-                },
-            );
-            ctx.set_app_timer(self.cfg.audit_timeout, AUDIT_TIMEOUT_BASE + seq);
+                    expected,
+                    holder,
+                    ctx.now(),
+                    &mut self.audit_stats,
+                );
+                past_obs::counter("past.audit.challenge", 1);
+                self.send_to(
+                    ctx,
+                    holder,
+                    MsgKind::AuditChallenge {
+                        seq,
+                        file_id,
+                        nonce,
+                        auditor: own,
+                    },
+                );
+                ctx.set_app_timer(self.cfg.audit_timeout, AUDIT_TIMEOUT_BASE + seq);
+            }
         }
     }
 
@@ -758,7 +767,7 @@ impl PastNode {
         let mut primaries: Vec<(FileId, u64)> = self
             .store
             .primaries()
-            .map(|(id, r)| (*id, r.size()))
+            .map(|(id, cert)| (*id, cert.file_size))
             .collect();
         primaries.sort_by_key(|(id, _)| *id);
         let mut pointers: Vec<FileId> = self.store.pointers().map(|(id, _)| *id).collect();

@@ -14,7 +14,7 @@ use past_id::FileId;
 
 use crate::memo::VerifyMemo;
 use crate::sha1::{Digest, Sha1};
-use crate::sign::{KeyPair, PublicKey, Signature};
+use crate::sign::{KeyPair, OwnerKey, PublicKey, Signature};
 
 /// Errors arising from certificate verification.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -70,8 +70,9 @@ pub struct FileCertificate {
     pub salt: u64,
     /// Creation date (simulation time).
     pub created_at: u64,
-    /// The owner's public key.
-    pub owner: PublicKey,
+    /// The owner's public key (interned: certificates from one owner
+    /// share a single allocation — see [`OwnerKey`]).
+    pub owner: OwnerKey,
     /// Owner's signature over all of the above.
     pub signature: Signature,
 }
@@ -122,7 +123,7 @@ impl FileCertificate {
             replicas,
             salt,
             created_at,
-            owner: owner.public(),
+            owner: owner.public_shared(),
             signature: Signature::Keyed(Digest([0u8; 20])),
         }
     }
@@ -204,8 +205,8 @@ pub struct ReclaimCertificate {
     pub file_id: FileId,
     /// Issue date (simulation time).
     pub issued_at: u64,
-    /// The owner's public key.
-    pub owner: PublicKey,
+    /// The owner's public key (interned).
+    pub owner: OwnerKey,
     /// Owner's signature.
     pub signature: Signature,
 }
@@ -229,7 +230,7 @@ impl ReclaimCertificate {
         ReclaimCertificate {
             file_id,
             issued_at,
-            owner: owner.public(),
+            owner: owner.public_shared(),
             signature: Signature::Keyed(Digest([0u8; 20])),
         }
     }
@@ -284,8 +285,8 @@ impl ReclaimCertificate {
 pub struct StoreReceipt {
     /// File the receipt covers.
     pub file_id: FileId,
-    /// Public key of the storing node.
-    pub storer: PublicKey,
+    /// Public key of the storing node (interned).
+    pub storer: OwnerKey,
     /// Whether this copy is held as a diverted replica.
     pub diverted: bool,
     /// Issue time.
@@ -313,7 +314,7 @@ impl StoreReceipt {
     pub fn issue_unsigned(storer: &KeyPair, file_id: FileId, diverted: bool, issued_at: u64) -> Self {
         StoreReceipt {
             file_id,
-            storer: storer.public(),
+            storer: storer.public_shared(),
             diverted,
             issued_at,
             signature: Signature::Keyed(Digest([0u8; 20])),

@@ -32,7 +32,7 @@ pub use cert::{compute_file_id, CertError, FileCertificate, ReclaimCertificate, 
 pub use memo::VerifyMemo;
 pub use quota::{QuotaError, QuotaLedger};
 pub use sha1::{Digest, Sha1};
-pub use sign::{KeyPair, PublicKey, Scheme, Signature};
+pub use sign::{KeyPair, OwnerKey, PublicKey, Scheme, SchnorrSig, Signature};
 pub use smartcard::{derive_node_id, CardIssuer, NodeIdCertificate, Smartcard};
 pub use u256::U256;
 

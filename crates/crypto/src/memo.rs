@@ -98,10 +98,10 @@ impl VerifyMemo {
         let mut h = Sha1::new();
         h.update(signing_bytes);
         match sig {
-            Signature::Schnorr { e, s } => {
+            Signature::Schnorr(sig) => {
                 h.update(&[0u8]);
-                h.update(&e.to_be_bytes());
-                h.update(&s.to_be_bytes());
+                h.update(&sig.e.to_be_bytes());
+                h.update(&sig.s.to_be_bytes());
             }
             Signature::Keyed(d) => {
                 h.update(&[1u8]);
@@ -180,10 +180,7 @@ mod tests {
         let base = VerifyMemo::key(b"payload", &sig(1));
         assert_ne!(base, VerifyMemo::key(b"payloae", &sig(1)));
         assert_ne!(base, VerifyMemo::key(b"payload", &sig(2)));
-        let schnorr = Signature::Schnorr {
-            e: crate::U256::from_u128(7),
-            s: crate::U256::from_u128(9),
-        };
+        let schnorr = Signature::schnorr(crate::U256::from_u128(7), crate::U256::from_u128(9));
         assert_ne!(base, VerifyMemo::key(b"payload", &schnorr));
     }
 

@@ -82,18 +82,84 @@ pub enum PublicKey {
     Keyed(Digest),
 }
 
-/// A signature produced by [`KeyPair::sign`].
+/// The (e, s) pair of a Schnorr signature, boxed inside [`Signature`]
+/// so the common certificate case (a 20-byte keyed tag) does not pay
+/// for the 64-byte Schnorr payload. At simulation scale certificates
+/// dominate live memory, and the enum's inline size is what every one
+/// of them carries.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SchnorrSig {
+    /// Challenge hash reduced into the exponent group.
+    pub e: U256,
+    /// Response scalar.
+    pub s: U256,
+}
+
+/// A signature produced by [`KeyPair::sign`].
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Signature {
     /// Schnorr pair (e, s): e = H(g^k ‖ m), s = k − x·e mod (p−1).
-    Schnorr {
-        /// Challenge hash reduced into the exponent group.
-        e: U256,
-        /// Response scalar.
-        s: U256,
-    },
+    Schnorr(Box<SchnorrSig>),
     /// Simulated tag H(pubkey ‖ m).
     Keyed(Digest),
+}
+
+impl Signature {
+    /// Builds a Schnorr signature from its scalars.
+    pub fn schnorr(e: U256, s: U256) -> Self {
+        Signature::Schnorr(Box::new(SchnorrSig { e, s }))
+    }
+}
+
+/// An interned public key: one reference-counted allocation shared by
+/// every certificate and receipt its key pair issues. A node signs
+/// thousands to millions of certificates over a run; embedding the
+/// 40-byte [`PublicKey`] enum in each repeats the same bytes everywhere,
+/// while the interned handle is pointer-sized and clones by bumping a
+/// count. Dereferences to [`PublicKey`], so verification call sites are
+/// unchanged.
+#[derive(Clone, Debug)]
+pub struct OwnerKey(std::sync::Arc<PublicKey>);
+
+impl OwnerKey {
+    /// Interns a public key (one allocation; clones share it).
+    pub fn new(key: PublicKey) -> Self {
+        OwnerKey(std::sync::Arc::new(key))
+    }
+
+    /// The underlying public key.
+    pub fn key(&self) -> &PublicKey {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for OwnerKey {
+    type Target = PublicKey;
+    fn deref(&self) -> &PublicKey {
+        &self.0
+    }
+}
+
+impl PartialEq for OwnerKey {
+    fn eq(&self, other: &Self) -> bool {
+        // Pointer equality first: interned keys from the same pair share
+        // one allocation, making the common comparison O(1).
+        std::sync::Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+
+impl Eq for OwnerKey {}
+
+impl std::hash::Hash for OwnerKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        (*self.0).hash(state)
+    }
+}
+
+impl From<PublicKey> for OwnerKey {
+    fn from(key: PublicKey) -> Self {
+        OwnerKey::new(key)
+    }
 }
 
 /// A private/public key pair.
@@ -102,6 +168,8 @@ pub struct KeyPair {
     scheme: Scheme,
     secret: U256,
     public: PublicKey,
+    /// The interned public half, shared by every certificate issued.
+    shared: OwnerKey,
 }
 
 impl PublicKey {
@@ -132,15 +200,16 @@ impl PublicKey {
     /// Verifies `sig` over `message`.
     pub fn verify(&self, message: &[u8], sig: &Signature) -> bool {
         match (self, sig) {
-            (PublicKey::Schnorr(y), Signature::Schnorr { e, s }) => {
-                if *e >= group::ORDER || *s >= group::ORDER {
+            (PublicKey::Schnorr(y), Signature::Schnorr(sig)) => {
+                let (e, s) = (sig.e, sig.s);
+                if e >= group::ORDER || s >= group::ORDER {
                     return false;
                 }
                 // r' = g^s * y^e mod p; accept iff H(r' ‖ m) == e.
-                let gs = group::G.powmod(*s, group::P);
-                let ye = y.powmod(*e, group::P);
+                let gs = group::G.powmod(s, group::P);
+                let ye = y.powmod(e, group::P);
                 let r = gs.mulmod(ye, group::P);
-                challenge(r, message) == *e
+                challenge(r, message) == e
             }
             (PublicKey::Keyed(_), Signature::Keyed(tag)) => *tag == keyed_tag(self, message),
             _ => false,
@@ -155,10 +224,12 @@ impl KeyPair {
             Scheme::Schnorr => {
                 let x = U256::random_below(rng, group::ORDER);
                 let y = group::G.powmod(x, group::P);
+                let public = PublicKey::Schnorr(y);
                 KeyPair {
                     scheme,
                     secret: x,
-                    public: PublicKey::Schnorr(y),
+                    public,
+                    shared: OwnerKey::new(public),
                 }
             }
             Scheme::Keyed => {
@@ -168,6 +239,7 @@ impl KeyPair {
                     scheme,
                     secret,
                     public,
+                    shared: OwnerKey::new(public),
                 }
             }
         }
@@ -176,6 +248,13 @@ impl KeyPair {
     /// Returns the public half.
     pub fn public(&self) -> PublicKey {
         self.public
+    }
+
+    /// Returns the interned public half: every call shares one
+    /// allocation, so certificates issued by this pair carry an 8-byte
+    /// handle instead of a 40-byte copy of the key.
+    pub fn public_shared(&self) -> OwnerKey {
+        self.shared.clone()
     }
 
     /// Returns the scheme this pair uses.
@@ -194,7 +273,7 @@ impl KeyPair {
                 let e = challenge(r, message);
                 let xe = self.secret.mulmod(e, group::ORDER);
                 let s = k.submod(xe, group::ORDER);
-                Signature::Schnorr { e, s }
+                Signature::schnorr(e, s)
             }
             Scheme::Keyed => Signature::Keyed(keyed_tag(&self.public, message)),
         }
@@ -267,10 +346,7 @@ mod tests {
     fn schnorr_rejects_out_of_range_scalars() {
         let mut rng = rng();
         let kp = KeyPair::generate(Scheme::Schnorr, &mut rng);
-        let bad = Signature::Schnorr {
-            e: group::ORDER,
-            s: U256::ONE,
-        };
+        let bad = Signature::schnorr(group::ORDER, U256::ONE);
         assert!(!kp.public().verify(b"msg", &bad));
     }
 

@@ -34,6 +34,7 @@
 //! ```
 
 pub mod json;
+pub mod mem;
 pub mod metrics;
 pub mod recorder;
 pub mod span;

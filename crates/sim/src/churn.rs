@@ -483,6 +483,17 @@ impl ChurnRunner {
         (total.challenges, total.passed, total.failed, total.timeouts)
     }
 
+    /// Same-file audit verdicts that differed (audit fanout ≥ 2: one
+    /// holder proved possession while another failed or timed out),
+    /// summed over every node. Always 0 at the default fanout of 1.
+    pub fn audit_disagreements(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter_map(|e| self.sim.node(e.addr))
+            .map(|n| n.app().audit_stats().disagreements)
+            .sum()
+    }
+
     /// The earliest moment any auditor convicted a holder (first failed
     /// or timed-out audit anywhere in the overlay).
     pub fn first_detection(&self) -> Option<SimTime> {
@@ -669,10 +680,8 @@ impl ChurnRunner {
         let mut copies: HashMap<FileId, usize> = HashMap::new();
         for node in &live {
             let app = node.app();
-            for (fid, replica) in app.store().primaries() {
-                if replica.diverted_from.is_none() {
-                    *copies.entry(*fid).or_insert(0) += 1;
-                }
+            for (fid, _cert) in app.store().primaries() {
+                *copies.entry(*fid).or_insert(0) += 1;
             }
             for (fid, holder) in app.store().pointers() {
                 if holds_live(holder, *fid) {

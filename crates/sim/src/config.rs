@@ -129,6 +129,7 @@ impl ExperimentConfig {
             // Byzantine defenses stay off in the paper-replay setup.
             audit_period: SimDuration::ZERO,
             audit_batch: 4,
+            audit_fanout: 1,
             audit_timeout: SimDuration::from_secs(2),
             verify_lookup_content: false,
         }

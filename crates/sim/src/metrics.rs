@@ -52,6 +52,17 @@ pub struct ExperimentResult {
     pub lookups: Vec<LookupRecord>,
     /// Running replica totals sampled at each insert completion.
     pub replica_samples: Vec<ReplicaSample>,
+    /// Exact insert completions over the run. Always maintained, even
+    /// when per-record vectors are thinned with
+    /// [`crate::Runner::with_record_sampling`] — XL-scale replays use
+    /// these for counters instead of `inserts.len()`.
+    pub inserts_total: u64,
+    /// Exact successful inserts (see [`Self::inserts_total`]).
+    pub inserts_ok: u64,
+    /// Exact lookup completions (see [`Self::inserts_total`]).
+    pub lookups_total: u64,
+    /// Exact found lookups (see [`Self::inserts_total`]).
+    pub lookups_ok: u64,
     /// Total replicas stored over the run (primary + diverted).
     pub replicas_stored: u64,
     /// Diverted replicas stored over the run.

@@ -8,7 +8,7 @@ use past_net::{Addr, ClusteredTopology, EuclideanTopology, SimTime, Simulator, T
 
 use crate::engine::Engine;
 use past_pastry::{NodeEntry, PastryNode};
-use past_workload::Trace;
+use past_workload::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -25,7 +25,16 @@ pub struct Runner {
     replicas_now: u64,
     diverted_now: u64,
     /// fileId assigned to each successfully inserted trace file.
+    /// Populated only when `cfg.replay_lookups` is set — insert-only
+    /// replays (the XL/XL2 rows) never read it, and at 10M files the
+    /// map alone would cost hundreds of MB.
     file_ids: IdHashMap<u32, FileId>,
+    /// Keep 1-in-N per-event records (`inserts`, `lookups`,
+    /// `replica_samples`); 1 = keep everything (the default).
+    record_every: usize,
+    /// Insert/lookup completions seen, for the sampling phase.
+    inserts_seen: u64,
+    lookups_seen: u64,
     /// Reused upcall drain buffer (one allocation for the whole replay
     /// instead of one per trace operation).
     upcall_buf: Vec<(SimTime, Addr, PastEvent)>,
@@ -39,8 +48,9 @@ pub struct Runner {
 impl Runner {
     /// Builds the overlay for `cfg`, scaling node capacities so that the
     /// trace's total replica bytes overcommit the system by
-    /// `cfg.overcommit`.
-    pub fn build(cfg: ExperimentConfig, trace: &Trace) -> Self {
+    /// `cfg.overcommit`. Accepts any [`Workload`] — a materialized
+    /// [`past_workload::Trace`] or a lazy [`past_workload::StreamTrace`].
+    pub fn build<W: Workload + ?Sized>(cfg: ExperimentConfig, trace: &W) -> Self {
         let mut seeder = StdRng::seed_from_u64(cfg.seed);
         // Scale capacities to the trace (preserving the Table 1 shape).
         let trace_replica_bytes = trace.total_bytes() as f64 * cfg.k as f64;
@@ -92,6 +102,9 @@ impl Runner {
             replicas_now: 0,
             diverted_now: 0,
             file_ids: IdHashMap::default(),
+            record_every: 1,
+            inserts_seen: 0,
+            lookups_seen: 0,
             upcall_buf: Vec::with_capacity(64),
             result: ExperimentResult {
                 total_capacity,
@@ -100,6 +113,18 @@ impl Runner {
             progress: None,
             metrics: None,
         }
+    }
+
+    /// Thins the per-event record vectors (`inserts`, `lookups`,
+    /// `replica_samples`) to 1-in-`every` entries. The exact aggregate
+    /// counters ([`ExperimentResult::inserts_total`] and friends) are
+    /// unaffected — only the utilization-curve resolution drops. The
+    /// default (`every = 1`) records everything; XL-scale replays pass
+    /// a larger stride so 10M completions do not materialize hundreds
+    /// of MB of records.
+    pub fn with_record_sampling(mut self, every: usize) -> Self {
+        self.record_every = every.max(1);
+        self
     }
 
     /// Installs a progress callback invoked every 1000 trace operations.
@@ -150,13 +175,13 @@ impl Runner {
     /// Maps a trace client to its access-point node, respecting cluster
     /// co-location for clustered topologies (requests from one NLANR
     /// site issue from PAST nodes in that site's cluster).
-    fn node_of_client(&self, client: u32, trace: &Trace) -> Addr {
+    fn node_of_client<W: Workload + ?Sized>(&self, client: u32, trace: &W) -> Addr {
         let n = self.cfg.nodes;
-        let base = (client as usize * n) / trace.clients.max(1) as usize;
+        let base = (client as usize * n) / trace.client_count().max(1) as usize;
         match self.cfg.topology {
             TopologyKind::Euclidean => Addr(base.min(n - 1) as u32),
             TopologyKind::Clustered { clusters } => {
-                let want = trace.client_cluster[client as usize];
+                let want = trace.cluster_of_client(client);
                 // Node i's cluster is i % clusters (round-robin layout).
                 let aligned = base - (base % clusters as usize) + want as usize;
                 Addr(aligned.min(n - 1) as u32)
@@ -167,17 +192,16 @@ impl Runner {
     /// Replays the trace: first references insert, repeated references
     /// look up (when `replay_lookups` is set). Returns the collected
     /// metrics.
-    pub fn run(mut self, trace: &Trace) -> ExperimentResult {
+    pub fn run<W: Workload + ?Sized>(mut self, trace: &W) -> ExperimentResult {
         let started = std::time::Instant::now();
         if self.metrics.is_some() {
             past_obs::install(past_obs::Recorder::new());
         }
-        let total_ops = trace.ops.len();
-        for (i, op) in trace.ops.iter().enumerate() {
+        let total_ops = trace.op_count();
+        for (i, op) in trace.ops_iter().enumerate() {
             let addr = self.node_of_client(op.client, trace);
             if op.is_insert {
-                let spec = trace.files[op.file as usize];
-                self.do_insert(addr, op.file, &spec.name(), spec.size);
+                self.do_insert(addr, op.file, &trace.file_name(op.file), trace.file_size(op.file));
             } else if self.cfg.replay_lookups {
                 if let Some(fid) = self.file_ids.get(&op.file).copied() {
                     self.do_lookup(addr, fid);
@@ -231,25 +255,28 @@ impl Runner {
     /// every `InsertDone`/`LookupDone` upcall. Lookups of files whose
     /// insert has not yet completed are skipped (the per-op replay
     /// cannot hit that case; an open-loop replay can).
-    pub fn run_pipelined(mut self, trace: &Trace, gap: past_net::SimDuration) -> ExperimentResult {
+    pub fn run_pipelined<W: Workload + ?Sized>(
+        mut self,
+        trace: &W,
+        gap: past_net::SimDuration,
+    ) -> ExperimentResult {
         let started = std::time::Instant::now();
         if self.metrics.is_some() {
             past_obs::install(past_obs::Recorder::new());
         }
-        let total_ops = trace.ops.len();
+        let total_ops = trace.op_count();
         let t0 = self.sim.now();
         // (client addr, client-local seq) → trace file index.
         let mut pending: std::collections::HashMap<(u32, u64), u32> =
             std::collections::HashMap::new();
-        for (i, op) in trace.ops.iter().enumerate() {
+        for (i, op) in trace.ops_iter().enumerate() {
             let at = t0 + past_net::SimDuration(gap.0.saturating_mul(i as u64));
             self.sim.run_until(at);
             self.collect_pipelined(&mut pending);
             let addr = self.node_of_client(op.client, trace);
             if op.is_insert {
-                let spec = trace.files[op.file as usize];
-                let name = spec.name();
-                let size = spec.size;
+                let name = trace.file_name(op.file);
+                let size = trace.file_size(op.file);
                 let mut seq = 0u64;
                 self.sim.invoke(addr, |node, ctx| {
                     node.invoke_app(ctx, |app, actx| {
@@ -369,33 +396,47 @@ impl Runner {
                 ..
             } => {
                 if success {
+                    self.result.inserts_ok += 1;
                     if let Some(idx) = file_index {
-                        self.file_ids.insert(idx, file_id);
+                        if self.cfg.replay_lookups {
+                            self.file_ids.insert(idx, file_id);
+                        }
                     }
                 }
-                let utilization = self.utilization();
-                self.result.inserts.push(InsertRecord {
-                    utilization,
-                    size,
-                    attempts,
-                    success,
-                });
-                self.result.replica_samples.push(ReplicaSample {
-                    utilization,
-                    replicas: self.replicas_now,
-                    diverted: self.diverted_now,
-                });
+                self.result.inserts_total += 1;
+                self.inserts_seen += 1;
+                if (self.inserts_seen - 1).is_multiple_of(self.record_every as u64) {
+                    let utilization = self.utilization();
+                    self.result.inserts.push(InsertRecord {
+                        utilization,
+                        size,
+                        attempts,
+                        success,
+                    });
+                    self.result.replica_samples.push(ReplicaSample {
+                        utilization,
+                        replicas: self.replicas_now,
+                        diverted: self.diverted_now,
+                    });
+                }
             }
             PastEvent::LookupDone {
                 found, hops, kind, ..
             } => {
-                let utilization = self.utilization();
-                self.result.lookups.push(LookupRecord {
-                    utilization,
-                    found,
-                    hops,
-                    cache_hit: is_cache_hit(kind),
-                });
+                self.result.lookups_total += 1;
+                if found {
+                    self.result.lookups_ok += 1;
+                }
+                self.lookups_seen += 1;
+                if (self.lookups_seen - 1).is_multiple_of(self.record_every as u64) {
+                    let utilization = self.utilization();
+                    self.result.lookups.push(LookupRecord {
+                        utilization,
+                        found,
+                        hops,
+                        cache_hit: is_cache_hit(kind),
+                    });
+                }
             }
             PastEvent::ReclaimDone { .. }
             | PastEvent::InsertAttemptAborted { .. }
@@ -406,6 +447,6 @@ impl Runner {
 }
 
 /// Convenience: build and run in one call.
-pub fn run_experiment(cfg: ExperimentConfig, trace: &Trace) -> ExperimentResult {
+pub fn run_experiment<W: Workload + ?Sized>(cfg: ExperimentConfig, trace: &W) -> ExperimentResult {
     Runner::build(cfg, trace).run(trace)
 }

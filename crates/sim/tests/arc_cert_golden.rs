@@ -5,7 +5,7 @@
 //! optimization changed semantics, not just speed.
 
 use past_sim::{ExperimentConfig, Runner};
-use past_workload::WebTraceConfig;
+use past_workload::{WebTraceConfig, Workload};
 
 /// Extracts a counter's value from the *final* registry snapshot of a
 /// metrics report (counters are cumulative, so the last occurrence is
@@ -23,20 +23,23 @@ fn final_counter(json: &str, name: &str) -> u64 {
 }
 
 /// The PR 3 determinism harness workload, byte-for-byte: 500-file web
-/// trace over 25 nodes, leaf set 16, seed 2001.
-fn run_golden_workload() -> String {
-    let trace = WebTraceConfig::default().with_unique_files(500).generate();
+/// trace over 25 nodes, leaf set 16, seed 2001. `label` keeps the two
+/// tests below off each other's metrics file.
+fn run_golden_workload_on(w: &dyn Workload, label: &str) -> String {
     let cfg = ExperimentConfig {
         nodes: 25,
         leaf_set_size: 16,
         seed: 2001,
         ..Default::default()
     };
-    let result = Runner::build(cfg, &trace)
-        .with_metrics("golden_arc", 100)
-        .run(&trace);
-    let _ = std::fs::remove_file("results/metrics_golden_arc.json");
+    let result = Runner::build(cfg, w).with_metrics(label, 100).run(w);
+    let _ = std::fs::remove_file(format!("results/metrics_{label}.json"));
     result.metrics_json.expect("with_metrics was enabled")
+}
+
+fn run_golden_workload() -> String {
+    let trace = WebTraceConfig::default().with_unique_files(500).generate();
+    run_golden_workload_on(&trace, "golden_arc")
 }
 
 #[test]
@@ -65,5 +68,23 @@ fn shared_cert_refactor_preserves_protocol_behaviour() {
     assert!(
         mismatches.is_empty(),
         "golden counters drifted — protocol behaviour changed:\n{mismatches}"
+    );
+}
+
+/// The streaming workload must be *invisible* to the golden harness:
+/// feeding the same config through [`WebTraceConfig::stream`] instead
+/// of materializing the trace yields a byte-identical metrics report
+/// (same counters, same histogram buckets, same snapshot cadence).
+#[test]
+fn streaming_workload_reproduces_golden_metrics_byte_for_byte() {
+    let cfg = WebTraceConfig::default().with_unique_files(500);
+    let materialized = run_golden_workload_on(&cfg.generate(), "golden_arc_mat");
+    let streamed = run_golden_workload_on(&cfg.stream(), "golden_arc_stream");
+    // The label leaks into the report header; mask it before comparing.
+    let materialized = materialized.replace("golden_arc_mat", "golden_arc");
+    let streamed = streamed.replace("golden_arc_stream", "golden_arc");
+    assert_eq!(
+        materialized, streamed,
+        "streaming replay produced a different metrics report"
     );
 }

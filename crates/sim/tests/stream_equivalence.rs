@@ -1,0 +1,132 @@
+//! The streaming-workload contract: a lazy [`StreamTrace`] must be
+//! indistinguishable from the materialized [`Trace`] it replaces —
+//! op-for-op at the workload layer (across random seeds and scales),
+//! and metric-for-metric through a full `run_pipelined` replay on both
+//! the legacy and the sharded engine.
+
+use past_net::SimDuration;
+use past_sim::{ExperimentConfig, ExperimentResult, Runner};
+use past_workload::{FsTraceConfig, WebTraceConfig, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Flattens any workload into a comparable op/size fingerprint.
+fn fingerprint(w: &dyn Workload) -> (u64, Vec<u64>, Vec<(u32, u32, bool)>) {
+    let sizes = (0..w.unique_files() as u32).map(|i| w.file_size(i)).collect();
+    let ops = w
+        .ops_iter()
+        .map(|o| (o.client, o.file, o.is_insert))
+        .collect();
+    (w.total_bytes(), sizes, ops)
+}
+
+/// Property sweep: for randomly drawn seeds, scales, cluster layouts
+/// and affinities, the stream reproduces the materialized trace
+/// byte-for-byte. (The fixed-config cases live in `past-workload`'s
+/// unit tests; this guards the whole parameter space.)
+#[test]
+fn stream_matches_materialized_across_random_seeds_and_scales() {
+    let mut meta = StdRng::seed_from_u64(0x57_4e_a4);
+    for round in 0..8 {
+        let clusters = meta.gen_range(1..=12u32);
+        let cfg = WebTraceConfig {
+            seed: meta.gen(),
+            clusters,
+            clients: meta.gen_range(clusters..=200),
+            cluster_affinity: meta.gen_range(0.0..1.0),
+            zero_fraction: if round % 2 == 0 { 0.0 } else { 0.01 },
+            ..Default::default()
+        }
+        .with_unique_files(meta.gen_range(50..1_500));
+        assert_eq!(
+            fingerprint(&cfg.generate()),
+            fingerprint(&cfg.stream()),
+            "web stream diverged for {cfg:?}"
+        );
+        let fs = FsTraceConfig {
+            seed: meta.gen(),
+            files: meta.gen_range(50..1_500),
+            clients: meta.gen_range(1..100),
+            ..Default::default()
+        };
+        assert_eq!(
+            fingerprint(&fs.generate()),
+            fingerprint(&fs.stream()),
+            "fs stream diverged for {fs:?}"
+        );
+    }
+}
+
+/// The deterministic metric surface of a replay (everything except
+/// wall-clock time and the obs report).
+fn metric_surface(r: &ExperimentResult) -> (u64, u64, u64, u64, u64, u64, u64, u64, u64) {
+    (
+        r.inserts_total,
+        r.inserts_ok,
+        r.lookups_total,
+        r.lookups_ok,
+        r.replicas_stored,
+        r.replicas_diverted,
+        r.stored_bytes,
+        r.net.events,
+        r.net.delivered,
+    )
+}
+
+fn run_replay(w: &dyn Workload, shards: usize, record_every: usize) -> ExperimentResult {
+    let cfg = ExperimentConfig {
+        nodes: 30,
+        seed: 4242,
+        shards,
+        replay_lookups: true,
+        ..Default::default()
+    };
+    Runner::build(cfg, w)
+        .with_record_sampling(record_every)
+        .run_pipelined(w, SimDuration::from_millis(2))
+}
+
+/// Tentpole acceptance: `run_pipelined` produces byte-identical
+/// metrics whether fed the materialized trace or the stream — on the
+/// legacy engine and on the sharded engine.
+#[test]
+fn pipelined_replay_identical_for_stream_and_materialized() {
+    let cfg = WebTraceConfig::default().with_unique_files(1_000);
+    let trace = cfg.generate();
+    let stream = cfg.stream();
+    for shards in [0usize, 2] {
+        let m = run_replay(&trace, shards, 1);
+        let s = run_replay(&stream, shards, 1);
+        assert_eq!(
+            metric_surface(&m),
+            metric_surface(&s),
+            "stream replay diverged at shards={shards}"
+        );
+        // The per-record vectors agree too (same completion order).
+        assert_eq!(m.inserts.len(), s.inserts.len());
+        assert_eq!(m.lookups.len(), s.lookups.len());
+    }
+}
+
+/// Record sampling thins the per-event vectors without touching the
+/// exact aggregate counters the XL rows report.
+#[test]
+fn record_sampling_preserves_exact_counters() {
+    let cfg = WebTraceConfig::default().with_unique_files(800);
+    let stream = cfg.stream();
+    let full = run_replay(&stream, 0, 1);
+    let thinned = run_replay(&stream, 0, 16);
+    assert_eq!(metric_surface(&full), metric_surface(&thinned));
+    assert!(
+        thinned.inserts.len() < full.inserts.len() / 8,
+        "sampling must thin the insert records ({} vs {})",
+        thinned.inserts.len(),
+        full.inserts.len()
+    );
+    assert!(thinned.lookups.len() < full.lookups.len());
+    assert_eq!(
+        full.inserts.len() as u64,
+        full.inserts_total,
+        "unsampled runs record every completion"
+    );
+}

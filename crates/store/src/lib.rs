@@ -15,4 +15,4 @@ mod cache;
 mod store;
 
 pub use cache::{Cache, CachePolicyKind};
-pub use store::{NodeStore, Resolution, StoreError, StorePolicy, StoredReplica};
+pub use store::{NodeStore, ReplicaRef, Resolution, StoreError, StorePolicy, StoredReplica};

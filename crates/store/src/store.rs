@@ -88,7 +88,13 @@ impl std::fmt::Display for StoreError {
 
 impl std::error::Error for StoreError {}
 
-/// A replica held on this node's disk.
+/// A replica held on this node's disk, returned **by value** when it is
+/// removed (reclaim, migration, invariant maintenance).
+///
+/// In-map storage is packed more tightly: primary replicas are keyed
+/// certificates alone (their `diverted_from` is always `None`), and
+/// diverted replicas carry the diverting node inline. Borrowed access
+/// goes through [`ReplicaRef`], which reconstitutes the uniform view.
 #[derive(Clone, Debug)]
 pub struct StoredReplica<H> {
     /// The file's certificate (carries size, owner, content hash),
@@ -103,6 +109,35 @@ impl<H> StoredReplica<H> {
     pub fn size(&self) -> u64 {
         self.cert.file_size
     }
+}
+
+/// Borrowed view of a replica held on this node (primary or diverted).
+///
+/// At 10M-file scale the replica maps dominate resident memory, so the
+/// primary map stores only the Arc'd certificate; this view carries the
+/// role information (`diverted_from`) that the packed representation
+/// keeps out of the map value.
+#[derive(Debug)]
+pub struct ReplicaRef<'a, H> {
+    /// The file's certificate.
+    pub cert: &'a SharedFileCert,
+    /// For diverted replicas: the node that diverted the file here.
+    pub diverted_from: Option<H>,
+}
+
+impl<H> ReplicaRef<'_, H> {
+    /// File size in bytes.
+    pub fn size(&self) -> u64 {
+        self.cert.file_size
+    }
+}
+
+/// In-map entry for a diverted replica: the certificate plus the node
+/// that diverted the file here (needed when the diverter fails).
+#[derive(Clone, Debug)]
+struct DivertedEntry<H> {
+    cert: SharedFileCert,
+    from: H,
 }
 
 /// How a lookup resolves against this node's storage.
@@ -129,8 +164,10 @@ pub enum Resolution<H: Copy> {
 pub struct NodeStore<H: Copy> {
     capacity: u64,
     policy: StorePolicy,
-    primaries: IdHashMap<FileId, StoredReplica<H>>,
-    diverted: IdHashMap<FileId, StoredReplica<H>>,
+    /// Primary replicas: the packed value is the certificate alone
+    /// (8 bytes inline) — a primary's `diverted_from` is always `None`.
+    primaries: IdHashMap<FileId, SharedFileCert>,
+    diverted: IdHashMap<FileId, DivertedEntry<H>>,
     /// A→B pointers: this node is responsible, B holds the replica.
     pointers: IdHashMap<FileId, H>,
     /// C→B backup pointers installed on the k+1-th closest node.
@@ -276,16 +313,13 @@ impl<H: Copy> NodeStore<H> {
         for evicted in self.cache.shrink_to(budget) {
             self.cache_certs.remove(&evicted);
         }
-        let replica = StoredReplica {
-            cert,
-            diverted_from: from,
-        };
         if primary {
             past_obs::counter("store.replica.primary", 1);
-            self.primaries.insert(id, replica);
+            self.primaries.insert(id, cert);
         } else {
             past_obs::counter("store.replica.diverted", 1);
-            self.diverted.insert(id, replica);
+            let from = from.expect("diverted replica carries its source");
+            self.diverted.insert(id, DivertedEntry { cert, from });
         }
         Ok(())
     }
@@ -293,10 +327,19 @@ impl<H: Copy> NodeStore<H> {
     /// Removes a replica in any role (reclaim, migration, invariant
     /// maintenance). Returns it if present.
     pub fn remove_replica(&mut self, id: FileId) -> Option<StoredReplica<H>> {
-        let replica = self
-            .primaries
-            .remove(&id)
-            .or_else(|| self.diverted.remove(&id))?;
+        let replica = match self.primaries.remove(&id) {
+            Some(cert) => StoredReplica {
+                cert,
+                diverted_from: None,
+            },
+            None => {
+                let entry = self.diverted.remove(&id)?;
+                StoredReplica {
+                    cert: entry.cert,
+                    diverted_from: Some(entry.from),
+                }
+            }
+        };
         self.replica_used -= replica.size();
         Some(replica)
     }
@@ -360,19 +403,38 @@ impl<H: Copy> NodeStore<H> {
         Resolution::Miss
     }
 
-    /// Returns the stored replica (primary or diverted) if present.
-    pub fn replica(&self, id: FileId) -> Option<&StoredReplica<H>> {
-        self.primaries.get(&id).or_else(|| self.diverted.get(&id))
+    /// Returns a borrowed view of the stored replica (primary or
+    /// diverted) if present.
+    pub fn replica(&self, id: FileId) -> Option<ReplicaRef<'_, H>> {
+        if let Some(cert) = self.primaries.get(&id) {
+            return Some(ReplicaRef {
+                cert,
+                diverted_from: None,
+            });
+        }
+        self.diverted.get(&id).map(|e| ReplicaRef {
+            cert: &e.cert,
+            diverted_from: Some(e.from),
+        })
     }
 
-    /// Iterates over primary replicas.
-    pub fn primaries(&self) -> impl Iterator<Item = (&FileId, &StoredReplica<H>)> {
+    /// Iterates over primary replicas as `(file, certificate)` — a
+    /// primary's `diverted_from` is `None` by construction.
+    pub fn primaries(&self) -> impl Iterator<Item = (&FileId, &SharedFileCert)> {
         self.primaries.iter()
     }
 
     /// Iterates over diverted replicas held here.
-    pub fn diverted_here(&self) -> impl Iterator<Item = (&FileId, &StoredReplica<H>)> {
-        self.diverted.iter()
+    pub fn diverted_here(&self) -> impl Iterator<Item = (&FileId, ReplicaRef<'_, H>)> {
+        self.diverted.iter().map(|(id, e)| {
+            (
+                id,
+                ReplicaRef {
+                    cert: &e.cert,
+                    diverted_from: Some(e.from),
+                },
+            )
+        })
     }
 
     /// Whether this node holds a replica of `id` (primary or diverted).

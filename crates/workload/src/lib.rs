@@ -13,10 +13,12 @@
 
 pub mod capacity;
 pub mod dist;
+pub mod stream;
 pub mod trace;
 
 pub use capacity::{admit, Admission, CapacityDistribution, MB};
 pub use dist::{
     standard_normal, truncated_pareto_mean, LogNormal, Pareto, SizeModel, TruncatedNormal, Zipf,
 };
+pub use stream::{OpStream, SizeTable, StreamTrace, Workload};
 pub use trace::{FileSpec, FsTraceConfig, Trace, TraceOp, WebTraceConfig};

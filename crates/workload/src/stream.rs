@@ -1,0 +1,482 @@
+//! Streaming (lazy) workload generation.
+//!
+//! `Trace::generate` materializes the whole request stream — at the
+//! 10M-file scale that is ~250 MB of `TraceOp`s plus ~160 MB of
+//! `FileSpec`s held alive for the entire replay. [`StreamTrace`]
+//! replaces that with a *seeded cursor*: the per-file tables that must
+//! exist up front (sizes, affinity clusters) are generated eagerly but
+//! stored packed (4 B + 1 B per file), and the per-request draws are
+//! replayed on demand from a snapshot of the generator's RNG state.
+//!
+//! The contract is **byte identity**: for the same config,
+//! [`StreamTrace::ops`] yields exactly the `TraceOp` sequence that
+//! [`WebTraceConfig::generate`] / [`FsTraceConfig::generate`] would
+//! materialize, because both run the identical draw sequence against
+//! the identical RNG. A property test in `tests/` pins this.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dist::{SizeModel, Zipf};
+use crate::trace::{FsTraceConfig, Trace, TraceOp, WebTraceConfig};
+
+/// Packed per-file size table: 4 bytes per file, with a sorted spill
+/// list for the (practically nonexistent) sizes above `u32::MAX` — the
+/// calibrated web and filesystem workloads max out at 138 MB and
+/// 2.7 GB respectively, both below 4 GiB.
+#[derive(Clone, Debug, Default)]
+pub struct SizeTable {
+    packed: Vec<u32>,
+    /// `(index, size)` for oversized files; sorted by construction.
+    spill: Vec<(u32, u64)>,
+    total: u64,
+}
+
+/// Sentinel in `packed` marking an entry that lives in `spill`.
+const SPILLED: u32 = u32::MAX;
+
+impl SizeTable {
+    /// Creates an empty table with room for `n` files.
+    pub fn with_capacity(n: usize) -> Self {
+        SizeTable {
+            packed: Vec::with_capacity(n),
+            spill: Vec::new(),
+            total: 0,
+        }
+    }
+
+    /// Appends the next file's size.
+    pub fn push(&mut self, size: u64) {
+        let index = self.packed.len() as u32;
+        if size >= SPILLED as u64 {
+            self.spill.push((index, size));
+            self.packed.push(SPILLED);
+        } else {
+            self.packed.push(size as u32);
+        }
+        self.total += size;
+    }
+
+    /// The size of file `i`.
+    pub fn get(&self, i: u32) -> u64 {
+        let v = self.packed[i as usize];
+        if v == SPILLED {
+            let at = self
+                .spill
+                .binary_search_by_key(&i, |&(idx, _)| idx)
+                .expect("spilled size present");
+            self.spill[at].1
+        } else {
+            v as u64
+        }
+    }
+
+    /// Number of files.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Sum of all sizes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+/// The workload-specific part of a streaming trace.
+#[derive(Clone, Debug)]
+enum StreamKind {
+    /// NLANR-like web replay: uniform introduction + Zipf re-reference.
+    Web {
+        /// Affinity cluster of each file (clusters ≤ 256 by assertion).
+        file_cluster: Vec<u8>,
+        zipf: Zipf,
+        cluster_affinity: f64,
+    },
+    /// Filesystem snapshot: insert-only, uniform client per file.
+    Fs,
+}
+
+/// A lazily replayed workload: per-file tables plus the RNG state from
+/// which the request stream re-derives on demand.
+///
+/// Build one with [`WebTraceConfig::stream`] or [`FsTraceConfig::stream`];
+/// iterate with [`StreamTrace::ops`] (restartable — each call replays
+/// from the captured RNG snapshot).
+#[derive(Clone, Debug)]
+pub struct StreamTrace {
+    kind: StreamKind,
+    sizes: SizeTable,
+    clients: u32,
+    clusters: u32,
+    client_cluster: Vec<u32>,
+    requests: usize,
+    /// RNG state captured after the per-file phases, right before the
+    /// first per-request draw.
+    op_rng: StdRng,
+}
+
+impl StreamTrace {
+    /// Total bytes across all unique files.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.total()
+    }
+
+    /// Number of unique files.
+    pub fn unique_files(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Number of requests the stream will yield.
+    pub fn op_count(&self) -> usize {
+        self.requests
+    }
+
+    /// Number of distinct clients.
+    pub fn clients(&self) -> u32 {
+        self.clients
+    }
+
+    /// Number of client clusters.
+    pub fn clusters(&self) -> u32 {
+        self.clusters
+    }
+
+    /// Cluster of client `c`.
+    pub fn client_cluster(&self, c: u32) -> u32 {
+        self.client_cluster[c as usize]
+    }
+
+    /// The size of file `i`.
+    pub fn file_size(&self, i: u32) -> u64 {
+        self.sizes.get(i)
+    }
+
+    /// A restartable cursor over the request stream.
+    pub fn ops(&self) -> OpStream<'_> {
+        OpStream {
+            trace: self,
+            rng: self.op_rng.clone(),
+            next: 0,
+            introduced: 0,
+        }
+    }
+}
+
+/// Lazy iterator over a [`StreamTrace`]'s request stream.
+#[derive(Clone, Debug)]
+pub struct OpStream<'a> {
+    trace: &'a StreamTrace,
+    rng: StdRng,
+    next: usize,
+    introduced: usize,
+}
+
+impl Iterator for OpStream<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        let t = self.trace;
+        if self.next >= t.requests {
+            return None;
+        }
+        let r = self.next;
+        self.next += 1;
+        match &t.kind {
+            StreamKind::Web {
+                file_cluster,
+                zipf,
+                cluster_affinity,
+            } => {
+                let unique = t.sizes.len();
+                // Identical draw sequence to WebTraceConfig::generate.
+                let target =
+                    ((r + 1) as f64 * unique as f64 / t.requests as f64).ceil() as usize;
+                let (file_idx, is_insert) = if self.introduced < target && self.introduced < unique
+                {
+                    self.introduced += 1;
+                    (self.introduced - 1, true)
+                } else {
+                    let mut rank = zipf.sample(&mut self.rng);
+                    while rank > self.introduced {
+                        rank = zipf.sample(&mut self.rng);
+                    }
+                    (rank - 1, false)
+                };
+                let cluster = if self.rng.gen::<f64>() < *cluster_affinity {
+                    file_cluster[file_idx] as u32
+                } else {
+                    self.rng.gen_range(0..t.clusters)
+                };
+                let per_cluster = t.clients.div_ceil(t.clusters);
+                let member = self.rng.gen_range(0..per_cluster);
+                let client = (member * t.clusters + cluster).min(t.clients - 1);
+                Some(TraceOp {
+                    client,
+                    file: file_idx as u32,
+                    is_insert,
+                })
+            }
+            StreamKind::Fs => Some(TraceOp {
+                client: self.rng.gen_range(0..t.clients),
+                file: r as u32,
+                is_insert: true,
+            }),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.requests - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for OpStream<'_> {}
+
+impl WebTraceConfig {
+    /// Builds the streaming equivalent of [`WebTraceConfig::generate`]:
+    /// same seed, same draws, same op sequence — without materializing
+    /// the request vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configs as `generate`, plus when
+    /// `clusters > 256` (the packed affinity table stores one byte per
+    /// file).
+    pub fn stream(&self) -> StreamTrace {
+        assert!(self.unique_files >= 1);
+        assert!(self.requests >= self.unique_files);
+        assert!(self.clients >= 1 && self.clusters >= 1);
+        assert!(
+            self.clusters <= 256,
+            "streaming web trace packs clusters into one byte"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let size_dist = SizeModel::calibrated(
+            self.median_size,
+            self.mean_size,
+            self.max_size,
+            self.tail_prob,
+            self.tail_x_m,
+            self.tail_alpha,
+        );
+        let mut sizes = SizeTable::with_capacity(self.unique_files);
+        for _ in 0..self.unique_files {
+            let size = if rng.gen::<f64>() < self.zero_fraction {
+                0
+            } else {
+                size_dist.sample(&mut rng).round() as u64
+            };
+            sizes.push(size);
+        }
+        let client_cluster: Vec<u32> = (0..self.clients).map(|c| c % self.clusters).collect();
+        let file_cluster: Vec<u8> = (0..self.unique_files)
+            .map(|_| rng.gen_range(0..self.clusters) as u8)
+            .collect();
+        let zipf = Zipf::new(self.unique_files, self.zipf_alpha);
+        StreamTrace {
+            kind: StreamKind::Web {
+                file_cluster,
+                zipf,
+                cluster_affinity: self.cluster_affinity,
+            },
+            sizes,
+            clients: self.clients,
+            clusters: self.clusters,
+            client_cluster,
+            requests: self.requests,
+            op_rng: rng,
+        }
+    }
+}
+
+impl FsTraceConfig {
+    /// Builds the streaming equivalent of [`FsTraceConfig::generate`].
+    pub fn stream(&self) -> StreamTrace {
+        assert!(self.files >= 1 && self.clients >= 1 && self.clusters >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let size_dist = SizeModel::calibrated(
+            self.median_size,
+            self.mean_size,
+            self.max_size,
+            self.tail_prob,
+            self.tail_x_m,
+            self.tail_alpha,
+        );
+        let mut sizes = SizeTable::with_capacity(self.files);
+        for _ in 0..self.files {
+            sizes.push(size_dist.sample(&mut rng).round() as u64);
+        }
+        let client_cluster: Vec<u32> = (0..self.clients).map(|c| c % self.clusters).collect();
+        StreamTrace {
+            kind: StreamKind::Fs,
+            sizes,
+            clients: self.clients,
+            clusters: self.clusters,
+            client_cluster,
+            requests: self.files,
+            op_rng: rng,
+        }
+    }
+}
+
+/// A replayable workload: what the experiment runner needs to build an
+/// overlay (aggregate statistics) and drive a replay (the op stream and
+/// per-file metadata), abstracted over materialized ([`Trace`]) and
+/// streaming ([`StreamTrace`]) representations.
+pub trait Workload {
+    /// Total bytes across all unique files.
+    fn total_bytes(&self) -> u64;
+    /// Number of unique files.
+    fn unique_files(&self) -> usize;
+    /// Number of requests.
+    fn op_count(&self) -> usize;
+    /// Number of distinct clients.
+    fn client_count(&self) -> u32;
+    /// Cluster of client `c`.
+    fn cluster_of_client(&self, c: u32) -> u32;
+    /// The size of file `i`.
+    fn file_size(&self, i: u32) -> u64;
+    /// The textual name of file `i` (hashed into the fileId).
+    fn file_name(&self, i: u32) -> String {
+        format!("f{i}")
+    }
+    /// The request stream in temporal order.
+    fn ops_iter(&self) -> Box<dyn Iterator<Item = TraceOp> + '_>;
+}
+
+impl Workload for Trace {
+    fn total_bytes(&self) -> u64 {
+        Trace::total_bytes(self)
+    }
+    fn unique_files(&self) -> usize {
+        Trace::unique_files(self)
+    }
+    fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+    fn client_count(&self) -> u32 {
+        self.clients
+    }
+    fn cluster_of_client(&self, c: u32) -> u32 {
+        self.client_cluster[c as usize]
+    }
+    fn file_size(&self, i: u32) -> u64 {
+        self.files[i as usize].size
+    }
+    fn ops_iter(&self) -> Box<dyn Iterator<Item = TraceOp> + '_> {
+        Box::new(self.ops.iter().copied())
+    }
+}
+
+impl Workload for StreamTrace {
+    fn total_bytes(&self) -> u64 {
+        StreamTrace::total_bytes(self)
+    }
+    fn unique_files(&self) -> usize {
+        StreamTrace::unique_files(self)
+    }
+    fn op_count(&self) -> usize {
+        self.requests
+    }
+    fn client_count(&self) -> u32 {
+        self.clients
+    }
+    fn cluster_of_client(&self, c: u32) -> u32 {
+        self.client_cluster[c as usize]
+    }
+    fn file_size(&self, i: u32) -> u64 {
+        self.sizes.get(i)
+    }
+    fn ops_iter(&self) -> Box<dyn Iterator<Item = TraceOp> + '_> {
+        Box::new(self.ops())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn web_stream_matches_generate() {
+        let cfg = WebTraceConfig {
+            unique_files: 2_000,
+            requests: 4_294,
+            ..Default::default()
+        };
+        let trace = cfg.generate();
+        let stream = cfg.stream();
+        assert_eq!(stream.unique_files(), trace.unique_files());
+        assert_eq!(stream.op_count(), trace.ops.len());
+        assert_eq!(stream.total_bytes(), trace.total_bytes());
+        for (i, f) in trace.files.iter().enumerate() {
+            assert_eq!(stream.file_size(i as u32), f.size, "size of file {i}");
+        }
+        let streamed: Vec<TraceOp> = stream.ops().collect();
+        assert_eq!(streamed, trace.ops);
+    }
+
+    #[test]
+    fn fs_stream_matches_generate() {
+        let cfg = FsTraceConfig {
+            files: 3_000,
+            ..Default::default()
+        };
+        let trace = cfg.generate();
+        let stream = cfg.stream();
+        assert_eq!(stream.total_bytes(), trace.total_bytes());
+        let streamed: Vec<TraceOp> = stream.ops().collect();
+        assert_eq!(streamed, trace.ops);
+    }
+
+    #[test]
+    fn op_stream_is_restartable() {
+        let stream = WebTraceConfig {
+            unique_files: 500,
+            requests: 1_074,
+            ..Default::default()
+        }
+        .stream();
+        let a: Vec<TraceOp> = stream.ops().collect();
+        let b: Vec<TraceOp> = stream.ops().collect();
+        assert_eq!(a, b, "each cursor replays from the same RNG snapshot");
+    }
+
+    #[test]
+    fn size_table_spills_oversized_entries() {
+        let mut t = SizeTable::with_capacity(3);
+        t.push(100);
+        t.push(u32::MAX as u64 + 7);
+        t.push(0);
+        assert_eq!(t.get(0), 100);
+        assert_eq!(t.get(1), u32::MAX as u64 + 7);
+        assert_eq!(t.get(2), 0);
+        assert_eq!(t.total(), 100 + u32::MAX as u64 + 7);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn workload_trait_agrees_across_representations() {
+        let cfg = WebTraceConfig {
+            unique_files: 800,
+            requests: 1_718,
+            ..Default::default()
+        };
+        let trace = cfg.generate();
+        let stream = cfg.stream();
+        let a: Vec<TraceOp> = Workload::ops_iter(&trace).collect();
+        let b: Vec<TraceOp> = Workload::ops_iter(&stream).collect();
+        assert_eq!(a, b);
+        assert_eq!(
+            Workload::file_name(&trace, 17),
+            Workload::file_name(&stream, 17)
+        );
+        for c in 0..cfg.clients {
+            assert_eq!(trace.cluster_of_client(c), stream.cluster_of_client(c));
+        }
+    }
+}

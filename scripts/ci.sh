@@ -40,14 +40,34 @@ PAST_NODES=60 PAST_FILES=5000 PAST_OUT_DIR="$perf_out" \
 python3 - "$perf_out/BENCH_perf.json" <<'PY'
 import json, sys
 report = json.load(open(sys.argv[1]))
+assert report["schema"] == 3, f"unexpected schema: {report['schema']}"
 workloads = {(w["name"], w["scale"]) for w in report["workloads"]}
 want = {("insert_heavy", "env"), ("lookup_heavy", "env"), ("churn", "env")}
 missing = want - workloads
 assert not missing, f"perf_suite JSON missing workloads: {missing}"
+# RSS budget: each smoke workload peaks at ~9-13 MB since-reset today
+# (streaming traces, interned certs, packed inventories). The ceiling
+# has ~5x headroom for allocator/kernel variance while still catching a
+# regression that re-materializes per-replica state at scale.
+RSS_BUDGET_KB = 64 * 1024
 for w in report["workloads"]:
     assert w["wall_seconds"] > 0, f"{w['name']}: non-positive wall time"
-print(f"perf smoke OK: {len(workloads)} workloads, JSON parseable")
+    assert w["peak_semantics"] in ("since_reset", "process_wide"), w
+    assert w["peak_rss_kb"] > 0, f"{w['name']}: no RSS sample"
+    if w["peak_semantics"] == "since_reset":
+        assert w["peak_rss_kb"] < RSS_BUDGET_KB, (
+            f"{w['name']}/{w['scale']}: peak RSS {w['peak_rss_kb']} kB "
+            f"blew the {RSS_BUDGET_KB} kB smoke budget"
+        )
+print(f"perf smoke OK: {len(workloads)} workloads, JSON parseable, "
+      f"peak RSS within {RSS_BUDGET_KB} kB")
 PY
+
+echo "== counting-allocator feature build"
+# The allocation-site harness is feature-gated off the default build;
+# make sure the gate keeps compiling (bench binary owns the
+# #[global_allocator] so the feature only exists there and in past-obs).
+cargo build --release -q -p past-bench --features count-alloc --offline
 
 echo "== sharded-engine smoke (shards=1 vs shards=2 counter parity)"
 # The sharded engine's determinism contract: the same seed must produce
