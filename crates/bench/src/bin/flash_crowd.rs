@@ -1,0 +1,553 @@
+//! Flash-crowd serving study: route-through cache absorption and the
+//! cache-size frontier (ROADMAP item 5).
+//!
+//! A [`FlashCrowdConfig`] trace flips popularity mid-run — a handful of
+//! previously cold files suddenly takes half the lookups — and the
+//! sweep asks which replacement policy and cache budget hold the hot
+//! node's served load flat as the crowd arrives. Policies: GreedyDual-
+//! Size and LRU (the paper's §4.4 pair), popularity-proportional random
+//! (the Sarshar–Roychowdhury cache rule, arXiv cs/0210010) and no
+//! caching. The budget axis is the cache admission fraction `c` (the
+//! share of a node's free space lookups may fill), the skew axis is the
+//! post-flip Zipf parameter.
+//!
+//! Every run is open-loop (pipelined) with windowed time-series
+//! metrics ([`ExperimentConfig::obs_window`]): per fixed sim-time
+//! window the report records lookups completed, cache hits, hop sum
+//! and the per-node served-load spread (total / distinct nodes / max),
+//! so hit rate and load concentration can be charted *across* the flip.
+//!
+//! Output: `BENCH_flashcrowd.json` (committed baseline; honours
+//! `PAST_OUT_DIR`) + `results/flash_crowd.csv`. Wall-clock time is
+//! deliberately excluded from the JSON so reruns are byte-identical.
+//!
+//! Env knobs:
+//! - `PAST_FC_SMOKE=1` — small fixed-seed sweep for CI: one budget ×
+//!   one skew across all four policies, a smaller overlay, no XL
+//!   section. Gates (nonzero GDS absorption, GDS hot-node peak below
+//!   the no-cache row, engine-equality of the baseline block) hold at
+//!   smoke scale too.
+//! - `PAST_SHARDS` — run the frontier grid on the sharded engine with
+//!   this shard count (default: legacy single-threaded engine).
+//! - `PAST_OUT_DIR` — redirect both artifacts.
+
+use std::io::Write as _;
+
+use past_bench::{artifact_path, print_table, write_csv};
+use past_net::SimDuration;
+use past_sim::{ExperimentConfig, ExperimentResult, Runner, TopologyKind};
+use past_store::CachePolicyKind;
+use past_workload::{FlashCrowdConfig, WebTraceConfig};
+
+/// Open-loop injection gap (matches the perf suite).
+const PIPELINE_GAP: SimDuration = SimDuration::from_millis(2);
+
+/// Windows across the whole replay: enough resolution to see the flip
+/// without ballooning the committed artifact.
+const WINDOWS_PER_RUN: u64 = 40;
+
+/// Hit-rate threshold defining "the crowd is absorbed".
+const ABSORB_THRESHOLD: f64 = 0.5;
+
+fn policy_label(p: CachePolicyKind) -> &'static str {
+    match p {
+        CachePolicyKind::GreedyDualSize => "gds",
+        CachePolicyKind::Lru => "lru",
+        CachePolicyKind::PopularityRandom => "poprand",
+        CachePolicyKind::None => "none",
+    }
+}
+
+/// One window of one run, replay-relative.
+struct WindowRow {
+    /// Window start, seconds since replay start.
+    t_s: f64,
+    /// Lookups completed in the window.
+    done: u64,
+    /// ... of which answered from a cache.
+    cached: u64,
+    /// Sum of hop counts over the window's completions.
+    hops: u64,
+    /// Lookup answers served, summed over all nodes.
+    served_total: u64,
+    /// Distinct nodes that served at least one answer.
+    served_nodes: u64,
+    /// The busiest single node's served count (the hot node).
+    served_max: u64,
+}
+
+/// One cell of the frontier: a full pipelined replay plus the derived
+/// flash-crowd statistics.
+struct Cell {
+    policy: CachePolicyKind,
+    budget: f64,
+    alpha_after: f64,
+    lookups_total: u64,
+    lookups_ok: u64,
+    /// Cache hit rate over all found lookups.
+    hit_rate: f64,
+    /// Cache hit rate over post-flip windows only.
+    hit_rate_post: f64,
+    /// Origin-replica load absorbed after the flip: the fraction of
+    /// post-flip completions answered by caches instead of replicas.
+    absorbed_post: f64,
+    /// Busiest single node's served count in any post-flip window.
+    hot_peak_post: u64,
+    /// Peak post-flip load concentration: max over windows of
+    /// (busiest node / mean served per serving node).
+    spread_peak_post: f64,
+    hops_mean: f64,
+    hops_p50: u32,
+    hops_p95: u32,
+    /// Seconds from the flip until a window first reaches
+    /// [`ABSORB_THRESHOLD`] cache-hit rate (None = never absorbed).
+    time_to_absorb_s: Option<f64>,
+    windows: Vec<WindowRow>,
+}
+
+/// Extracts the per-window rows and flash-crowd statistics from one
+/// run's windowed series.
+fn analyze(
+    policy: CachePolicyKind,
+    budget: f64,
+    alpha_after: f64,
+    result: &ExperimentResult,
+    flip_index: usize,
+) -> Cell {
+    let series = result
+        .windows
+        .as_ref()
+        .expect("flash_crowd runs always set obs_window");
+    let width = series.width_us;
+    let start = result.replay_start_us;
+    let flip_us = start + flip_index as u64 * PIPELINE_GAP.micros();
+    let flip_bucket = flip_us / width;
+    let empty = std::collections::BTreeMap::new();
+    let done = series.counters.get("past.win.lookup").unwrap_or(&empty);
+    let cached = series
+        .counters
+        .get("past.win.lookup.cached")
+        .unwrap_or(&empty);
+    let hops = series.counters.get("past.win.lookup.hops").unwrap_or(&empty);
+    let served = series.node_stats.get("past.win.served");
+
+    // Union of bucket keys across the four series.
+    let mut buckets: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    buckets.extend(done.keys().copied());
+    if let Some(s) = served {
+        buckets.extend(s.keys().copied());
+    }
+    let mut windows = Vec::with_capacity(buckets.len());
+    let (mut post_done, mut post_cached) = (0u64, 0u64);
+    let mut hot_peak_post = 0u64;
+    let mut spread_peak_post = 0.0f64;
+    let mut time_to_absorb_s = None;
+    for &b in &buckets {
+        let d = done.get(&b).copied().unwrap_or(0);
+        let c = cached.get(&b).copied().unwrap_or(0);
+        let h = hops.get(&b).copied().unwrap_or(0);
+        let s = served.and_then(|s| s.get(&b).copied()).unwrap_or_default();
+        if b >= flip_bucket {
+            post_done += d;
+            post_cached += c;
+            hot_peak_post = hot_peak_post.max(s.max);
+            if s.nodes > 0 {
+                let mean = s.total as f64 / s.nodes as f64;
+                spread_peak_post = spread_peak_post.max(s.max as f64 / mean);
+            }
+            if time_to_absorb_s.is_none() && d > 0 && c as f64 / d as f64 >= ABSORB_THRESHOLD {
+                let t = (b * width).saturating_sub(flip_us);
+                time_to_absorb_s = Some(t as f64 / 1e6);
+            }
+        }
+        windows.push(WindowRow {
+            t_s: (b * width).saturating_sub(start) as f64 / 1e6,
+            done: d,
+            cached: c,
+            hops: h,
+            served_total: s.total,
+            served_nodes: s.nodes,
+            served_max: s.max,
+        });
+    }
+
+    let (all_done, all_cached) = (
+        done.values().sum::<u64>(),
+        cached.values().sum::<u64>(),
+    );
+    let mut hop_samples: Vec<u32> = result
+        .lookups
+        .iter()
+        .filter(|r| r.found)
+        .map(|r| r.hops)
+        .collect();
+    hop_samples.sort_unstable();
+    let pct = |q: f64| -> u32 {
+        if hop_samples.is_empty() {
+            return 0;
+        }
+        hop_samples[((hop_samples.len() - 1) as f64 * q).round() as usize]
+    };
+    let hops_mean = if hop_samples.is_empty() {
+        0.0
+    } else {
+        hop_samples.iter().map(|&h| h as u64).sum::<u64>() as f64 / hop_samples.len() as f64
+    };
+    let rate = |c: u64, d: u64| if d == 0 { 0.0 } else { c as f64 / d as f64 };
+    Cell {
+        policy,
+        budget,
+        alpha_after,
+        lookups_total: result.lookups_total,
+        lookups_ok: result.lookups_ok,
+        hit_rate: rate(all_cached, all_done),
+        hit_rate_post: rate(post_cached, post_done),
+        absorbed_post: rate(post_cached, post_done),
+        hot_peak_post,
+        spread_peak_post,
+        hops_mean,
+        hops_p50: pct(0.50),
+        hops_p95: pct(0.95),
+        time_to_absorb_s,
+        windows,
+    }
+}
+
+/// Runs one frontier cell: pipelined flash-crowd replay with windowed
+/// metrics on.
+fn run_cell(
+    nodes: usize,
+    unique_files: usize,
+    policy: CachePolicyKind,
+    budget: f64,
+    alpha_after: f64,
+    shards: usize,
+    seed: u64,
+) -> Cell {
+    let wl = FlashCrowdConfig {
+        zipf_alpha_after: alpha_after,
+        ..FlashCrowdConfig::default()
+    }
+    .with_unique_files(unique_files);
+    let requests = wl.requests as u64;
+    let trace = wl.stream();
+    let window_us = (requests * PIPELINE_GAP.micros() / WINDOWS_PER_RUN).max(1_000_000);
+    let cfg = ExperimentConfig {
+        nodes,
+        cache_policy: policy,
+        cache_fraction: budget,
+        replay_lookups: true,
+        topology: TopologyKind::Clustered { clusters: 8 },
+        seed,
+        shards,
+        obs_window: SimDuration(window_us),
+        ..Default::default()
+    };
+    let label = format!(
+        "fc_{}_c{budget}_a{alpha_after}",
+        policy_label(policy)
+    );
+    eprintln!(
+        "[flash_crowd] {label}: {nodes} nodes, {} files, {requests} requests, {shards} shards ...",
+        wl.unique_files
+    );
+    let result = Runner::build(cfg, &trace)
+        .with_metrics_quiet(&label, usize::MAX)
+        .run_pipelined(&trace, PIPELINE_GAP);
+    eprintln!(
+        "[flash_crowd] {label}: {:.1}s wall, {} lookups ok",
+        result.wall_seconds, result.lookups_ok
+    );
+    analyze(policy, budget, alpha_after, &result, wl.flip_index())
+}
+
+/// Counters that must be byte-identical across engines and shard
+/// counts for a default-knob run (all flash-crowd knobs off).
+#[derive(PartialEq, Eq, Clone)]
+struct BaselineCounters {
+    inserts_total: u64,
+    inserts_ok: u64,
+    lookups_total: u64,
+    lookups_ok: u64,
+    replicas_stored: u64,
+    stored_bytes: u64,
+}
+
+/// One default-knob replay (web trace, default cache policy,
+/// `obs_window` zero) on the requested engine. Per-op mode (`run`) is
+/// the legacy-vs-sharded parity surface — the gated workload consumes
+/// no simulator randomness, so both engines must agree exactly.
+/// Pipelined mode is pinned shard-count-invariant (the engines differ
+/// legitimately in open-loop event ordering).
+fn baseline_run(nodes: usize, unique_files: usize, shards: usize, pipelined: bool) -> BaselineCounters {
+    let trace = WebTraceConfig::default()
+        .with_unique_files(unique_files)
+        .generate();
+    let cfg = ExperimentConfig {
+        nodes,
+        replay_lookups: true,
+        cache_policy: CachePolicyKind::GreedyDualSize,
+        topology: TopologyKind::Clustered { clusters: 8 },
+        seed: 2002,
+        shards,
+        ..Default::default()
+    };
+    let runner = Runner::build(cfg, &trace);
+    let result = if pipelined {
+        runner.run_pipelined(&trace, PIPELINE_GAP)
+    } else {
+        runner.run(&trace)
+    };
+    BaselineCounters {
+        inserts_total: result.inserts_total,
+        inserts_ok: result.inserts_ok,
+        lookups_total: result.lookups_total,
+        lookups_ok: result.lookups_ok,
+        replicas_stored: result.replicas_stored,
+        stored_bytes: result.stored_bytes,
+    }
+}
+
+fn cell_json(c: &Cell, with_windows: bool) -> String {
+    let mut s = format!(
+        "{{\"policy\": \"{}\", \"budget\": {:.2}, \"alpha_after\": {:.2}, \
+         \"lookups_total\": {}, \"lookups_ok\": {}, \"hit_rate\": {:.4}, \
+         \"hit_rate_post_flip\": {:.4}, \"absorbed_post_flip\": {:.4}, \
+         \"hot_node_peak_post_flip\": {}, \"load_spread_peak_post_flip\": {:.2}, \
+         \"hops_mean\": {:.3}, \"hops_p50\": {}, \"hops_p95\": {}, \
+         \"time_to_absorb_s\": {}",
+        policy_label(c.policy),
+        c.budget,
+        c.alpha_after,
+        c.lookups_total,
+        c.lookups_ok,
+        c.hit_rate,
+        c.hit_rate_post,
+        c.absorbed_post,
+        c.hot_peak_post,
+        c.spread_peak_post,
+        c.hops_mean,
+        c.hops_p50,
+        c.hops_p95,
+        c.time_to_absorb_s
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "null".to_string()),
+    );
+    if with_windows {
+        // Compact per-window rows:
+        // [t_s, done, cached, hops_sum, served_total, served_nodes, served_max]
+        s.push_str(", \"windows\": [");
+        for (i, w) in c.windows.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "[{:.1}, {}, {}, {}, {}, {}, {}]",
+                w.t_s, w.done, w.cached, w.hops, w.served_total, w.served_nodes, w.served_max
+            ));
+        }
+        s.push(']');
+    }
+    s.push('}');
+    s
+}
+
+fn cell_row(c: &Cell) -> Vec<String> {
+    vec![
+        policy_label(c.policy).to_string(),
+        format!("{:.2}", c.budget),
+        format!("{:.2}", c.alpha_after),
+        c.lookups_ok.to_string(),
+        format!("{:.4}", c.hit_rate),
+        format!("{:.4}", c.hit_rate_post),
+        c.hot_peak_post.to_string(),
+        format!("{:.2}", c.spread_peak_post),
+        format!("{:.3}", c.hops_mean),
+        c.hops_p50.to_string(),
+        c.hops_p95.to_string(),
+        c.time_to_absorb_s
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "never".to_string()),
+    ]
+}
+
+fn main() {
+    let smoke = std::env::var_os("PAST_FC_SMOKE").is_some();
+    let env_shards: usize = std::env::var("PAST_SHARDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+
+    let (nodes, unique_files) = if smoke { (100, 2_000) } else { (2_000, 20_000) };
+    let budgets: &[f64] = if smoke { &[1.0] } else { &[0.1, 0.5, 1.0] };
+    let skews: &[f64] = if smoke { &[1.1] } else { &[0.7, 1.1] };
+    let policies = [
+        CachePolicyKind::GreedyDualSize,
+        CachePolicyKind::Lru,
+        CachePolicyKind::PopularityRandom,
+        CachePolicyKind::None,
+    ];
+
+    // The frontier grid. `None` ignores the budget axis (nothing is
+    // ever cached), so it runs once per skew at budget 1.0.
+    let mut cells: Vec<Cell> = Vec::new();
+    for &alpha_after in skews {
+        for &policy in &policies {
+            let cell_budgets: &[f64] = if policy == CachePolicyKind::None {
+                &[1.0]
+            } else {
+                budgets
+            };
+            for &budget in cell_budgets {
+                cells.push(run_cell(
+                    nodes,
+                    unique_files,
+                    policy,
+                    budget,
+                    alpha_after,
+                    env_shards,
+                    0xf1a5,
+                ));
+            }
+        }
+    }
+
+    // The headline scale: 10,000 nodes on the sharded engine, GDS
+    // versus no caching — the "does route-through caching absorb a
+    // flash crowd at scale" row. Skipped in the CI smoke.
+    let mut xl_cells: Vec<Cell> = Vec::new();
+    if !smoke {
+        for policy in [CachePolicyKind::GreedyDualSize, CachePolicyKind::None] {
+            xl_cells.push(run_cell(10_000, 100_000, policy, 1.0, 1.1, 8, 0xf1a5));
+        }
+    }
+
+    // Engine-equality baseline: a default-knob run (web trace, no
+    // obs_window, no new policy) must produce identical counters (a)
+    // per-op on the legacy engine (twice — rerun determinism) and the
+    // sharded engine at 1 and 2 shards (the engines agree exactly on
+    // gated per-op workloads), and (b) pipelined across shard counts
+    // (open-loop event ordering differs legitimately between engines,
+    // so pipelined parity is per-engine — the PR-5 contract).
+    let (b_nodes, b_files) = if smoke { (50, 1_200) } else { (60, 2_500) };
+    eprintln!("[flash_crowd] baseline engine-equality block ({b_nodes} nodes, {b_files} files)");
+    let baseline_runs = [
+        ("legacy", 0usize, "per_op", baseline_run(b_nodes, b_files, 0, false)),
+        ("legacy_rerun", 0, "per_op", baseline_run(b_nodes, b_files, 0, false)),
+        ("sharded_1", 1, "per_op", baseline_run(b_nodes, b_files, 1, false)),
+        ("sharded_2", 2, "per_op", baseline_run(b_nodes, b_files, 2, false)),
+        ("pipelined_1", 1, "pipelined", baseline_run(b_nodes, b_files, 1, true)),
+        ("pipelined_2", 2, "pipelined", baseline_run(b_nodes, b_files, 2, true)),
+    ];
+    let baseline_equal = baseline_runs
+        .iter()
+        .filter(|(_, _, mode, _)| *mode == "per_op")
+        .all(|(_, _, _, c)| *c == baseline_runs[0].3)
+        && baseline_runs[4].3 == baseline_runs[5].3;
+
+    // Gates (also asserted by CI): GDS absorbs the flash crowd — its
+    // hot node's served-load peak stays strictly below the no-cache
+    // row's, and a nonzero share of post-flip load is absorbed.
+    let find = |set: &[Cell], p: CachePolicyKind, a: f64| -> (u64, f64) {
+        set.iter()
+            .filter(|c| c.policy == p && (c.alpha_after - a).abs() < 1e-9 && c.budget >= 1.0 - 1e-9)
+            .map(|c| (c.hot_peak_post, c.absorbed_post))
+            .next()
+            .unwrap_or((0, 0.0))
+    };
+    let skew = *skews.last().unwrap();
+    let (gds_peak, gds_absorbed) = find(&cells, CachePolicyKind::GreedyDualSize, skew);
+    let (none_peak, _) = find(&cells, CachePolicyKind::None, skew);
+    let gds_absorbs = gds_absorbed > 0.0 && gds_peak < none_peak;
+    eprintln!(
+        "[flash_crowd] gate: gds absorbed {gds_absorbed:.3}, hot peak {gds_peak} vs no-cache {none_peak} -> {}",
+        if gds_absorbs { "PASS" } else { "FAIL" }
+    );
+
+    // Table + CSV.
+    let header: Vec<String> = [
+        "policy",
+        "budget",
+        "alpha_after",
+        "lookups_ok",
+        "hit_rate",
+        "hit_rate_post",
+        "hot_peak_post",
+        "spread_peak",
+        "hops_mean",
+        "hops_p50",
+        "hops_p95",
+        "absorb (s)",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    let mut rows: Vec<Vec<String>> = cells.iter().map(cell_row).collect();
+    for c in &xl_cells {
+        let mut row = cell_row(c);
+        row[0] = format!("xl/{}", row[0]);
+        rows.push(row);
+    }
+    print_table("flash_crowd: the cache-size frontier", &header, &rows);
+    write_csv("flash_crowd", &header, &rows);
+
+    // JSON artifact. Deterministic: no wall-clock anywhere.
+    let mut json = String::new();
+    json.push_str("{\n  \"bench\": \"flash_crowd\",\n  \"schema\": 1,\n");
+    json.push_str(&format!(
+        "  \"pipeline_gap_us\": {},\n  \"absorb_threshold\": {ABSORB_THRESHOLD},\n",
+        PIPELINE_GAP.micros()
+    ));
+    json.push_str(&format!(
+        "  \"frontier\": {{\"nodes\": {nodes}, \"unique_files\": {unique_files}, \"shards\": {env_shards}, \"cells\": [\n"
+    ));
+    for (i, c) in cells.iter().enumerate() {
+        json.push_str("    ");
+        json.push_str(&cell_json(c, true));
+        json.push_str(if i + 1 == cells.len() { "\n" } else { ",\n" });
+    }
+    json.push_str("  ]},\n");
+    if xl_cells.is_empty() {
+        json.push_str("  \"xl\": null,\n");
+    } else {
+        json.push_str("  \"xl\": {\"nodes\": 10000, \"unique_files\": 100000, \"shards\": 8, \"cells\": [\n");
+        for (i, c) in xl_cells.iter().enumerate() {
+            json.push_str("    ");
+            json.push_str(&cell_json(c, true));
+            json.push_str(if i + 1 == xl_cells.len() { "\n" } else { ",\n" });
+        }
+        json.push_str("  ]},\n");
+    }
+    json.push_str(&format!(
+        "  \"baseline\": {{\"nodes\": {b_nodes}, \"unique_files\": {b_files}, \"all_equal\": {baseline_equal}, \"runs\": [\n"
+    ));
+    for (i, (label, shards, mode, c)) in baseline_runs.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"engine\": \"{label}\", \"shards\": {shards}, \"mode\": \"{mode}\", \
+             \"inserts_total\": {}, \
+             \"inserts_ok\": {}, \"lookups_total\": {}, \"lookups_ok\": {}, \
+             \"replicas_stored\": {}, \"stored_bytes\": {}}}{}\n",
+            c.inserts_total,
+            c.inserts_ok,
+            c.lookups_total,
+            c.lookups_ok,
+            c.replicas_stored,
+            c.stored_bytes,
+            if i + 1 == baseline_runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]},\n");
+    json.push_str(&format!(
+        "  \"gates\": {{\"gds_absorbed_post_flip\": {gds_absorbed:.4}, \"gds_hot_peak\": {gds_peak}, \
+         \"none_hot_peak\": {none_peak}, \"gds_absorbs\": {gds_absorbs}}}\n"
+    ));
+    json.push_str("}\n");
+
+    let path = artifact_path("BENCH_flashcrowd.json");
+    let mut f = std::fs::File::create(&path).expect("create BENCH_flashcrowd.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_flashcrowd.json");
+    eprintln!("wrote {}", path.display());
+
+    assert!(baseline_equal, "engine-equality baseline diverged");
+    assert!(gds_absorbs, "GDS failed to absorb the flash crowd");
+}

@@ -97,6 +97,14 @@ pub struct PastConfig {
     /// server and retries the lookup (up to `k` times) before
     /// accepting defeat. Off by default.
     pub verify_lookup_content: bool,
+    /// Width of the windowed time-series buckets for the obs layer:
+    /// lookup completions, cache hits, hop counts, and per-node served
+    /// load are additionally recorded per fixed sim-time window of this
+    /// width (bucket = now / width), so they can be charted *over time*
+    /// — e.g. across a flash-crowd popularity flip. Zero disables the
+    /// windows — the default, keeping metrics reports byte-identical to
+    /// earlier revisions.
+    pub obs_window: SimDuration,
 }
 
 impl Default for PastConfig {
@@ -121,6 +129,7 @@ impl Default for PastConfig {
             audit_fanout: 1,
             audit_timeout: SimDuration::from_secs(2),
             verify_lookup_content: false,
+            obs_window: SimDuration::ZERO,
         }
     }
 }

@@ -28,6 +28,39 @@ fn hit_counter(kind: HitKind) -> &'static str {
 }
 
 impl PastNode {
+    /// The current windowed-metrics bucket, or `None` when windowed
+    /// time series are disabled (`obs_window` zero or no recorder).
+    pub(crate) fn win_bucket(&self, ctx: &PCtx<'_, '_>) -> Option<u64> {
+        let width = self.cfg.obs_window.micros();
+        if width == 0 || !past_obs::is_enabled() {
+            return None;
+        }
+        Some(ctx.now().micros() / width)
+    }
+
+    /// Records a completed client lookup into the windowed time series
+    /// (completion count, cache-hit count, hop sum per window).
+    pub(crate) fn note_lookup_window(&self, ctx: &PCtx<'_, '_>, kind: HitKind, hops: u32) {
+        if let Some(bucket) = self.win_bucket(ctx) {
+            past_obs::window_add("past.win.lookup", bucket, 1);
+            if kind == HitKind::Cached {
+                past_obs::window_add("past.win.lookup.cached", bucket, 1);
+            }
+            if hops > 0 {
+                past_obs::window_add("past.win.lookup.hops", bucket, hops as u64);
+            }
+        }
+    }
+
+    /// Records this node serving one lookup answer into the per-node
+    /// windowed series (the max/mean spread per window is the
+    /// flash-crowd load-concentration chart).
+    pub(crate) fn note_served_window(&self, ctx: &PCtx<'_, '_>) {
+        if let Some(bucket) = self.win_bucket(ctx) {
+            past_obs::window_node_add("past.win.served", bucket, ctx.own().addr.0, 1);
+        }
+    }
+
     /// A lookup reached the node responsible for the key without being
     /// intercepted earlier.
     pub(crate) fn lookup_at_responsible(
@@ -90,6 +123,7 @@ impl PastNode {
             hit_label(kind),
             hops as i64,
         );
+        self.note_served_window(ctx);
         // A content-corrupting holder serves bytes that no longer match
         // the certificate; the flag travels with the hit and stands in
         // for the client's own hash comparison of the received content.
@@ -222,6 +256,7 @@ impl PastNode {
                     past_obs::observe("past.lookup.hops", hops as u64);
                     past_obs::span_end(obs::req_span(&req), ctx.now().micros(), hit_label(kind));
                 }
+                self.note_lookup_window(ctx, kind, hops);
                 ctx.emit(PastEvent::LookupDone {
                     seq: req.seq,
                     file_id,

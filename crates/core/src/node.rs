@@ -404,6 +404,8 @@ impl PastNode {
                     ctx.now().micros(),
                     "local_primary",
                 );
+                self.note_lookup_window(ctx, HitKind::Primary, 0);
+                self.note_served_window(ctx);
                 ctx.emit(PastEvent::LookupDone {
                     seq,
                     file_id,
@@ -420,6 +422,8 @@ impl PastNode {
                     ctx.now().micros(),
                     "local_cached",
                 );
+                self.note_lookup_window(ctx, HitKind::Cached, 0);
+                self.note_served_window(ctx);
                 ctx.emit(PastEvent::LookupDone {
                     seq,
                     file_id,

@@ -42,6 +42,6 @@ pub mod span;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use recorder::{
     counter, gauge, install, is_enabled, observe, span_end, span_event, span_start, uninstall,
-    with_recorder, Recorder,
+    window_add, window_node_add, with_recorder, Recorder,
 };
 pub use span::{OpSpan, SpanEvent, SpanId};

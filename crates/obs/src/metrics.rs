@@ -132,6 +132,14 @@ pub struct MetricsRegistry {
     counters: BTreeMap<String, u64>,
     gauges: BTreeMap<String, i64>,
     histograms: BTreeMap<String, Histogram>,
+    /// Windowed time series: name → sim-time bucket index → count. The
+    /// *caller* computes the bucket (`now / window_width`), so the
+    /// registry needs no notion of the width and per-shard fragments
+    /// merge by plain addition.
+    windows: BTreeMap<String, BTreeMap<u64, u64>>,
+    /// Per-node windowed series: name → (bucket, node) → count. Used for
+    /// load-spread charts (max/mean per window across nodes).
+    node_windows: BTreeMap<String, BTreeMap<(u64, u32), u64>>,
 }
 
 impl MetricsRegistry {
@@ -165,6 +173,47 @@ impl MetricsRegistry {
                 self.histograms.insert(name.to_string(), h);
             }
         }
+    }
+
+    /// Adds `delta` to the named windowed series at `bucket` (a
+    /// caller-computed sim-time bucket index, `now / window_width`).
+    pub fn window_add(&mut self, name: &str, bucket: u64, delta: u64) {
+        let series = match self.windows.get_mut(name) {
+            Some(s) => s,
+            None => self.windows.entry(name.to_string()).or_default(),
+        };
+        *series.entry(bucket).or_insert(0) += delta;
+    }
+
+    /// Adds `delta` to the named per-node windowed series at
+    /// `(bucket, node)`.
+    pub fn window_node_add(&mut self, name: &str, bucket: u64, node: u32, delta: u64) {
+        let series = match self.node_windows.get_mut(name) {
+            Some(s) => s,
+            None => self.node_windows.entry(name.to_string()).or_default(),
+        };
+        *series.entry((bucket, node)).or_insert(0) += delta;
+    }
+
+    /// The named windowed series (bucket → count), if any was recorded.
+    pub fn window(&self, name: &str) -> Option<&BTreeMap<u64, u64>> {
+        self.windows.get(name)
+    }
+
+    /// The named per-node windowed series ((bucket, node) → count), if
+    /// any was recorded.
+    pub fn node_window(&self, name: &str) -> Option<&BTreeMap<(u64, u32), u64>> {
+        self.node_windows.get(name)
+    }
+
+    /// All windowed series.
+    pub fn windows(&self) -> &BTreeMap<String, BTreeMap<u64, u64>> {
+        &self.windows
+    }
+
+    /// All per-node windowed series.
+    pub fn node_windows(&self) -> &BTreeMap<String, BTreeMap<(u64, u32), u64>> {
+        &self.node_windows
     }
 
     /// Current value of a counter (0 if never touched).
@@ -201,6 +250,18 @@ impl MetricsRegistry {
                 }
             }
         }
+        for (name, series) in &other.windows {
+            let mine = self.windows.entry(name.clone()).or_default();
+            for (bucket, delta) in series {
+                *mine.entry(*bucket).or_insert(0) += delta;
+            }
+        }
+        for (name, series) in &other.node_windows {
+            let mine = self.node_windows.entry(name.clone()).or_default();
+            for (key, delta) in series {
+                *mine.entry(*key).or_insert(0) += delta;
+            }
+        }
     }
 
     /// Serializes a point-in-time snapshot (all metrics plus the sim
@@ -221,12 +282,71 @@ impl MetricsRegistry {
             .iter()
             .map(|(k, h)| (k.as_str(), h.to_json()))
             .collect();
-        json::object(&[
+        let mut fields: Vec<(&str, String)> = vec![
             ("at_us", at_us.to_string()),
             ("counters", json::object(&counters)),
             ("gauges", json::object(&gauges)),
             ("histograms", json::object(&histograms)),
-        ])
+        ];
+        // Windowed series are emitted only when present, so snapshots
+        // from runs with the windowing knob off stay byte-identical to
+        // what they were before the knob existed.
+        if !self.windows.is_empty() {
+            let series: Vec<(&str, String)> = self
+                .windows
+                .iter()
+                .map(|(name, buckets)| {
+                    let entries: Vec<(String, String)> = buckets
+                        .iter()
+                        .map(|(b, v)| (b.to_string(), v.to_string()))
+                        .collect();
+                    let refs: Vec<(&str, String)> = entries
+                        .iter()
+                        .map(|(b, v)| (b.as_str(), v.clone()))
+                        .collect();
+                    (name.as_str(), json::object(&refs))
+                })
+                .collect();
+            fields.push(("windows", json::object(&series)));
+        }
+        if !self.node_windows.is_empty() {
+            // Per-node series are summarized per bucket (total, node
+            // count, max) — enough for load-spread charts without a
+            // per-node blowup in the snapshot.
+            let series: Vec<(&str, String)> = self
+                .node_windows
+                .iter()
+                .map(|(name, cells)| {
+                    let mut agg: BTreeMap<u64, (u64, u64, u64)> = BTreeMap::new();
+                    for (&(bucket, _node), &v) in cells {
+                        let e = agg.entry(bucket).or_insert((0, 0, 0));
+                        e.0 += v;
+                        e.1 += 1;
+                        e.2 = e.2.max(v);
+                    }
+                    let entries: Vec<(String, String)> = agg
+                        .iter()
+                        .map(|(b, (total, nodes, max))| {
+                            (
+                                b.to_string(),
+                                json::object(&[
+                                    ("total", total.to_string()),
+                                    ("nodes", nodes.to_string()),
+                                    ("max", max.to_string()),
+                                ]),
+                            )
+                        })
+                        .collect();
+                    let refs: Vec<(&str, String)> = entries
+                        .iter()
+                        .map(|(b, v)| (b.as_str(), v.clone()))
+                        .collect();
+                    (name.as_str(), json::object(&refs))
+                })
+                .collect();
+            fields.push(("node_windows", json::object(&series)));
+        }
+        json::object(&fields)
     }
 }
 
@@ -348,6 +468,57 @@ mod tests {
             merged.merge_from(p);
         }
         assert_eq!(merged.to_json(), whole.to_json());
+    }
+
+    #[test]
+    fn windows_absent_from_snapshot_when_unused() {
+        let mut r = MetricsRegistry::new();
+        r.counter("c", 1);
+        assert!(!r.to_json(0).contains("windows"));
+    }
+
+    #[test]
+    fn window_snapshot_shape() {
+        let mut r = MetricsRegistry::new();
+        r.window_add("win.lookup", 3, 2);
+        r.window_add("win.lookup", 1, 1);
+        r.window_node_add("win.served", 1, 9, 4);
+        r.window_node_add("win.served", 1, 2, 1);
+        r.window_node_add("win.served", 2, 9, 7);
+        let json = r.to_json(0);
+        assert_eq!(
+            json,
+            "{\"at_us\":0,\"counters\":{},\"gauges\":{},\"histograms\":{},\
+             \"windows\":{\"win.lookup\":{\"1\":1,\"3\":2}},\
+             \"node_windows\":{\"win.served\":{\
+             \"1\":{\"total\":5,\"nodes\":2,\"max\":4},\
+             \"2\":{\"total\":7,\"nodes\":1,\"max\":7}}}}"
+        );
+    }
+
+    #[test]
+    fn window_merge_is_plain_addition() {
+        let mut whole = MetricsRegistry::new();
+        whole.window_add("w", 0, 3);
+        whole.window_add("w", 1, 5);
+        whole.window_node_add("nw", 0, 7, 2);
+        whole.window_node_add("nw", 0, 8, 1);
+
+        // The same recordings split across two fragments, merged in
+        // reverse order, must land on the identical registry.
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.window_add("w", 0, 1);
+        b.window_add("w", 0, 2);
+        b.window_add("w", 1, 5);
+        b.window_node_add("nw", 0, 7, 2);
+        a.window_node_add("nw", 0, 8, 1);
+        let mut merged = MetricsRegistry::new();
+        merged.merge_from(&b);
+        merged.merge_from(&a);
+        assert_eq!(merged.to_json(0), whole.to_json(0));
+        assert_eq!(merged.window("w").unwrap().get(&1), Some(&5));
+        assert_eq!(merged.node_window("nw").unwrap().get(&(0, 7)), Some(&2));
     }
 
     #[test]

@@ -340,6 +340,26 @@ pub fn observe(name: &str, value: u64) {
     with_recorder(|r| r.metrics.observe(name, value));
 }
 
+/// Adds `delta` to a windowed time series at a caller-computed sim-time
+/// bucket (`now / window_width`). No-op when disabled.
+#[inline]
+pub fn window_add(name: &str, bucket: u64, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|r| r.metrics.window_add(name, bucket, delta));
+}
+
+/// Adds `delta` to a per-node windowed time series at `(bucket, node)`.
+/// No-op when disabled.
+#[inline]
+pub fn window_node_add(name: &str, bucket: u64, node: u32, delta: u64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|r| r.metrics.window_node_add(name, bucket, node, delta));
+}
+
 /// Opens a span. No-op when disabled.
 #[inline]
 pub fn span_start(id: SpanId, kind: &'static str, at_us: u64) {

@@ -68,6 +68,14 @@ pub struct ExperimentConfig {
     /// weight diversion-target choice by free space × reliability. Off
     /// by default.
     pub track_reliability: bool,
+    /// Width of the windowed time-series buckets ([`PastConfig::obs_window`]):
+    /// when nonzero (and metrics recording is on), lookup completions,
+    /// cache hits, hop counts and per-node served load are additionally
+    /// bucketed by fixed sim-time windows, and the runner extracts them
+    /// into [`crate::ExperimentResult::windows`]. Zero — the default —
+    /// disables the windows and keeps metrics reports byte-identical to
+    /// earlier revisions.
+    pub obs_window: SimDuration,
 }
 
 impl Default for ExperimentConfig {
@@ -90,6 +98,7 @@ impl Default for ExperimentConfig {
             shards: 0,
             warm_restart: false,
             track_reliability: false,
+            obs_window: SimDuration::ZERO,
         }
     }
 }
@@ -132,6 +141,7 @@ impl ExperimentConfig {
             audit_fanout: 1,
             audit_timeout: SimDuration::from_secs(2),
             verify_lookup_content: false,
+            obs_window: self.obs_window,
         }
     }
 

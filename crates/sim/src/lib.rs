@@ -24,6 +24,6 @@ mod runner;
 pub use churn::{ChurnConfig, ChurnRunner, InvariantReport, UnderReplicated, CLIENT};
 pub use config::{ExperimentConfig, TopologyKind};
 pub use engine::Engine;
-pub use metrics::{ExperimentResult, InsertRecord, LookupRecord};
+pub use metrics::{ExperimentResult, InsertRecord, LookupRecord, NodeWindowStat, WindowSeries};
 pub use report::write_metrics_file;
 pub use runner::{run_experiment, Runner};

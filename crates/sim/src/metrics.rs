@@ -42,6 +42,35 @@ pub struct LookupRecord {
     pub cache_hit: bool,
 }
 
+/// Per-window aggregate of a per-node windowed counter: how one
+/// window's served load spreads over the nodes that served anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeWindowStat {
+    /// Sum over all nodes in the window.
+    pub total: u64,
+    /// Distinct nodes that contributed.
+    pub nodes: u64,
+    /// Largest single node's contribution (the hot node).
+    pub max: u64,
+}
+
+/// The windowed time series extracted from the obs registry after a run
+/// with [`crate::ExperimentConfig::obs_window`] set: counters and
+/// per-node load spread per fixed sim-time bucket. Buckets are
+/// `sim_time / width_us`; multiply by `width_us` to recover time.
+#[derive(Clone, Debug, Default)]
+pub struct WindowSeries {
+    /// Bucket width in simulated microseconds.
+    pub width_us: u64,
+    /// Plain windowed counters (`past.win.lookup`, `.cached`, `.hops`),
+    /// name → bucket → count.
+    pub counters: std::collections::BTreeMap<String, std::collections::BTreeMap<u64, u64>>,
+    /// Per-node windowed counters (`past.win.served`), aggregated per
+    /// bucket into total / distinct-node / max statistics.
+    pub node_stats:
+        std::collections::BTreeMap<String, std::collections::BTreeMap<u64, NodeWindowStat>>,
+}
+
 /// Aggregated result of one experiment run.
 #[derive(Clone, Debug, Default)]
 pub struct ExperimentResult {
@@ -77,6 +106,14 @@ pub struct ExperimentResult {
     /// with [`crate::Runner::with_metrics`]). Deterministic for a
     /// given seed — byte-identical across same-seed reruns.
     pub metrics_json: Option<String>,
+    /// Windowed time series (present when the run was built with
+    /// metrics recording and a nonzero
+    /// [`crate::ExperimentConfig::obs_window`]).
+    pub windows: Option<WindowSeries>,
+    /// Simulated time (µs) at which the trace replay started — overlay
+    /// construction runs before this. Subtract from window-bucket times
+    /// to get replay-relative time.
+    pub replay_start_us: u64,
     /// Network-level event totals for the whole run (overlay
     /// construction included), for throughput reporting.
     pub net: past_net::NetStats,

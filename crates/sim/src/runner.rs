@@ -13,7 +13,10 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{ExperimentConfig, TopologyKind};
-use crate::metrics::{is_cache_hit, ExperimentResult, InsertRecord, LookupRecord, ReplicaSample};
+use crate::metrics::{
+    is_cache_hit, ExperimentResult, InsertRecord, LookupRecord, NodeWindowStat, ReplicaSample,
+    WindowSeries,
+};
 
 /// A built overlay plus replay state.
 pub struct Runner {
@@ -43,6 +46,11 @@ pub struct Runner {
     progress: Option<Box<dyn FnMut(usize, usize)>>,
     /// Metrics recording (label, snapshot interval in trace ops).
     metrics: Option<(String, usize)>,
+    /// Whether the metrics report is also written to
+    /// `results/metrics_<label>.json` (true for [`Self::with_metrics`];
+    /// [`Self::with_metrics_quiet`] keeps it in-memory only, so sweeps
+    /// over dozens of configurations don't litter the results dir).
+    metrics_write: bool,
 }
 
 impl Runner {
@@ -112,6 +120,7 @@ impl Runner {
             },
             progress: None,
             metrics: None,
+            metrics_write: true,
         }
     }
 
@@ -141,6 +150,17 @@ impl Runner {
     /// time, so overlay-construction traffic is excluded.
     pub fn with_metrics(mut self, label: &str, snapshot_every: usize) -> Self {
         self.metrics = Some((label.to_string(), snapshot_every.max(1)));
+        self.metrics_write = true;
+        self
+    }
+
+    /// Like [`Self::with_metrics`], but the report stays in
+    /// [`ExperimentResult::metrics_json`] only — nothing is written to
+    /// the results directory. Parameter sweeps that run the same
+    /// experiment dozens of times use this to avoid one file per cell.
+    pub fn with_metrics_quiet(mut self, label: &str, snapshot_every: usize) -> Self {
+        self.metrics = Some((label.to_string(), snapshot_every.max(1)));
+        self.metrics_write = false;
         self
     }
 
@@ -197,6 +217,7 @@ impl Runner {
         if self.metrics.is_some() {
             past_obs::install(past_obs::Recorder::new());
         }
+        self.result.replay_start_us = self.sim.now().micros();
         let total_ops = trace.op_count();
         for (i, op) in trace.ops_iter().enumerate() {
             let addr = self.node_of_client(op.client, trace);
@@ -218,18 +239,61 @@ impl Runner {
                 }
             }
         }
-        if let Some((label, _)) = self.metrics.take() {
-            self.snapshot_metrics();
-            if let Some(rec) = past_obs::uninstall() {
-                let json = rec.report_json(&label, self.cfg.seed);
-                let _ = crate::report::write_metrics_file(&label, &json);
-                self.result.metrics_json = Some(json);
-            }
-        }
+        self.finish_metrics();
         self.result.stored_bytes = self.stored_bytes;
         self.result.wall_seconds = started.elapsed().as_secs_f64();
         self.result.net = self.sim.stats();
         self.result
+    }
+
+    /// Final metrics snapshot + report extraction, shared by both replay
+    /// modes: uninstalls the recorder, renders the JSON report (written
+    /// to the results dir unless the quiet variant was used) and pulls
+    /// the windowed time series out of the registry when
+    /// [`ExperimentConfig::obs_window`] is nonzero.
+    fn finish_metrics(&mut self) {
+        if let Some((label, _)) = self.metrics.take() {
+            self.snapshot_metrics();
+            if let Some(rec) = past_obs::uninstall() {
+                let json = rec.report_json(&label, self.cfg.seed);
+                if self.metrics_write {
+                    let _ = crate::report::write_metrics_file(&label, &json);
+                }
+                self.result.metrics_json = Some(json);
+                self.result.windows = self.extract_windows(&rec);
+            }
+        }
+    }
+
+    /// Builds the [`WindowSeries`] from the final (shard-merged)
+    /// registry state. Per-node series are collapsed to per-bucket
+    /// total / distinct-node / max — the load-spread statistics the
+    /// flash-crowd study charts.
+    fn extract_windows(&self, rec: &past_obs::Recorder) -> Option<WindowSeries> {
+        let width_us = self.cfg.obs_window.micros();
+        if width_us == 0 {
+            return None;
+        }
+        let m = rec.metrics();
+        let mut series = WindowSeries {
+            width_us,
+            ..Default::default()
+        };
+        for (name, buckets) in m.windows() {
+            series.counters.insert(name.clone(), buckets.clone());
+        }
+        for (name, cells) in m.node_windows() {
+            let mut per: std::collections::BTreeMap<u64, NodeWindowStat> =
+                std::collections::BTreeMap::new();
+            for (&(bucket, _node), &count) in cells {
+                let s = per.entry(bucket).or_default();
+                s.total += count;
+                s.nodes += 1;
+                s.max = s.max.max(count);
+            }
+            series.node_stats.insert(name.clone(), per);
+        }
+        Some(series)
     }
 
     /// Records harness-level gauges and appends a registry snapshot
@@ -264,6 +328,7 @@ impl Runner {
         if self.metrics.is_some() {
             past_obs::install(past_obs::Recorder::new());
         }
+        self.result.replay_start_us = self.sim.now().micros();
         let total_ops = trace.op_count();
         let t0 = self.sim.now();
         // (client addr, client-local seq) → trace file index.
@@ -306,14 +371,7 @@ impl Runner {
         }
         self.sim.run_until_idle();
         self.collect_pipelined(&mut pending);
-        if let Some((label, _)) = self.metrics.take() {
-            self.snapshot_metrics();
-            if let Some(rec) = past_obs::uninstall() {
-                let json = rec.report_json(&label, self.cfg.seed);
-                let _ = crate::report::write_metrics_file(&label, &json);
-                self.result.metrics_json = Some(json);
-            }
-        }
+        self.finish_metrics();
         self.result.stored_bytes = self.stored_bytes;
         self.result.wall_seconds = started.elapsed().as_secs_f64();
         self.result.net = self.sim.stats();

@@ -12,7 +12,12 @@
 //! (1 to maximize hit rate) and `L` an inflation value set to the evicted
 //! victim's weight. The classic "subtract H_v from everyone" formulation
 //! is implemented with the equivalent L-offset trick so that eviction is
-//! O(log n). An LRU policy is provided for the paper's comparison.
+//! O(log n). An LRU policy is provided for the paper's comparison, and a
+//! popularity-proportional random policy (admit with probability that
+//! saturates toward 1 as the observed request rate grows, evict uniformly
+//! at random) in the spirit of the power-law caching analysis of Sarshar
+//! & Roychowdhury (arXiv cs/0210010) serves as a stateless-replacement
+//! baseline for the flash-crowd study.
 
 use std::collections::BTreeSet;
 
@@ -43,8 +48,66 @@ pub enum CachePolicyKind {
     GreedyDualSize,
     /// Least-recently-used.
     Lru,
+    /// Popularity-proportional random: admit with probability
+    /// `seen / (seen + 4)` where `seen` is the number of requests for the
+    /// file observed at this node, evict a uniformly random resident.
+    /// Randomness comes from a private SplitMix64 stream seeded with a
+    /// fixed constant, so runs stay deterministic and no shared RNG
+    /// stream is consumed.
+    PopularityRandom,
     /// Caching disabled (the paper's "None" baseline in Figure 8).
     None,
+}
+
+/// A cache lifecycle event, used to key per-policy obs counters.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CacheEvent {
+    /// A probe found the file.
+    Hit,
+    /// A probe missed.
+    Miss,
+    /// A file was admitted.
+    Insert,
+    /// A resident file was evicted by the policy.
+    Evict,
+}
+
+impl CacheEvent {
+    /// Every event, for exhaustiveness tests.
+    pub const ALL: [CacheEvent; 4] = [
+        CacheEvent::Hit,
+        CacheEvent::Miss,
+        CacheEvent::Insert,
+        CacheEvent::Evict,
+    ];
+}
+
+impl CachePolicyKind {
+    /// Every policy, for exhaustiveness tests.
+    pub const ALL: [CachePolicyKind; 4] = [
+        CachePolicyKind::GreedyDualSize,
+        CachePolicyKind::Lru,
+        CachePolicyKind::PopularityRandom,
+        CachePolicyKind::None,
+    ];
+}
+
+/// Fixed seed for the popularity-random policy's private SplitMix64
+/// stream (the golden-ratio increment itself).
+const POPRAND_SEED: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// Admission half-point: a file seen `POPRAND_HALF` times is admitted
+/// with probability 1/2; the probability saturates toward 1 as the
+/// observed request count grows.
+const POPRAND_HALF: u64 = 4;
+
+/// One step of SplitMix64 (Steele et al., the JDK's seeding generator).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 /// Internal replacement state.
@@ -67,6 +130,18 @@ enum PolicyState {
         last_use: IdHashMap<FileId, u64>,
         /// Files ordered by last use.
         order: BTreeSet<(u64, FileId)>,
+    },
+    PopRandom {
+        /// Private SplitMix64 state (admission coin + victim choice).
+        rng: u64,
+        /// Requests observed per file (probes and insert offers),
+        /// saturating. Grows with the node's working set, like the GDS
+        /// weight map.
+        seen: IdHashMap<FileId, u32>,
+        /// Residents in arbitrary order, for O(1) uniform victim choice.
+        slots: Vec<FileId>,
+        /// Position of each resident in `slots`.
+        pos: IdHashMap<FileId, u32>,
     },
     None,
 }
@@ -104,6 +179,12 @@ impl Cache {
                 tick: 0,
                 last_use: IdHashMap::default(),
                 order: BTreeSet::new(),
+            },
+            CachePolicyKind::PopularityRandom => PolicyState::PopRandom {
+                rng: POPRAND_SEED,
+                seen: IdHashMap::default(),
+                slots: Vec::new(),
+                pos: IdHashMap::default(),
             },
             CachePolicyKind::None => PolicyState::None,
         };
@@ -152,38 +233,68 @@ impl Cache {
     /// Probes the cache for `id`, updating recency/weight and hit
     /// statistics. Returns the file size if present.
     pub fn probe(&mut self, id: FileId) -> Option<u64> {
+        self.note_request(id);
         match self.entries.get(&id).copied() {
             Some(size) => {
                 self.hits += 1;
-                past_obs::counter(self.metric_name("hit"), 1);
+                past_obs::counter(self.metric_name(CacheEvent::Hit), 1);
                 self.touch(id, size);
                 Some(size)
             }
             None => {
                 self.misses += 1;
-                past_obs::counter(self.metric_name("miss"), 1);
+                past_obs::counter(self.metric_name(CacheEvent::Miss), 1);
                 None
             }
         }
     }
 
-    /// The `past-obs` counter name for one cache event (`hit`, `miss`,
-    /// `insert`, `evict`) under this policy.
-    fn metric_name(&self, event: &str) -> &'static str {
+    /// The `past-obs` counter name for one cache event under this
+    /// policy. Exhaustive: every (policy, event) pair has its own name
+    /// (see the uniqueness test below).
+    fn metric_name(&self, event: CacheEvent) -> &'static str {
+        use CacheEvent as E;
+        use CachePolicyKind as P;
         match (self.kind, event) {
-            (CachePolicyKind::GreedyDualSize, "hit") => "store.cache.hit.gds",
-            (CachePolicyKind::GreedyDualSize, "miss") => "store.cache.miss.gds",
-            (CachePolicyKind::GreedyDualSize, "insert") => "store.cache.insert.gds",
-            (CachePolicyKind::GreedyDualSize, "evict") => "store.cache.evict.gds",
-            (CachePolicyKind::Lru, "hit") => "store.cache.hit.lru",
-            (CachePolicyKind::Lru, "miss") => "store.cache.miss.lru",
-            (CachePolicyKind::Lru, "insert") => "store.cache.insert.lru",
-            (CachePolicyKind::Lru, "evict") => "store.cache.evict.lru",
-            (CachePolicyKind::None, "hit") => "store.cache.hit.none",
-            (CachePolicyKind::None, "miss") => "store.cache.miss.none",
-            (CachePolicyKind::None, "insert") => "store.cache.insert.none",
-            (CachePolicyKind::None, "evict") => "store.cache.evict.none",
-            _ => "store.cache.other",
+            (P::GreedyDualSize, E::Hit) => "store.cache.hit.gds",
+            (P::GreedyDualSize, E::Miss) => "store.cache.miss.gds",
+            (P::GreedyDualSize, E::Insert) => "store.cache.insert.gds",
+            (P::GreedyDualSize, E::Evict) => "store.cache.evict.gds",
+            (P::Lru, E::Hit) => "store.cache.hit.lru",
+            (P::Lru, E::Miss) => "store.cache.miss.lru",
+            (P::Lru, E::Insert) => "store.cache.insert.lru",
+            (P::Lru, E::Evict) => "store.cache.evict.lru",
+            (P::PopularityRandom, E::Hit) => "store.cache.hit.poprand",
+            (P::PopularityRandom, E::Miss) => "store.cache.miss.poprand",
+            (P::PopularityRandom, E::Insert) => "store.cache.insert.poprand",
+            (P::PopularityRandom, E::Evict) => "store.cache.evict.poprand",
+            (P::None, E::Hit) => "store.cache.hit.none",
+            (P::None, E::Miss) => "store.cache.miss.none",
+            (P::None, E::Insert) => "store.cache.insert.none",
+            (P::None, E::Evict) => "store.cache.evict.none",
+        }
+    }
+
+    /// Records one observed request for `id` (popularity-random only:
+    /// the admission probability is driven by this count).
+    fn note_request(&mut self, id: FileId) {
+        if let PolicyState::PopRandom { seen, .. } = &mut self.policy {
+            let n = seen.entry(id).or_insert(0);
+            *n = n.saturating_add(1);
+        }
+    }
+
+    /// Popularity-random admission coin: admit with probability
+    /// `seen / (seen + POPRAND_HALF)`. Other policies always admit.
+    fn admit(&mut self, id: FileId) -> bool {
+        match &mut self.policy {
+            PolicyState::PopRandom { rng, seen, .. } => {
+                let n = seen.get(&id).copied().unwrap_or(0) as u128;
+                let r = splitmix64(rng) as u128;
+                // r / 2^64 < n / (n + HALF), in exact integer arithmetic.
+                r * (n + POPRAND_HALF as u128) < n << 64
+            }
+            _ => true,
         }
     }
 
@@ -215,6 +326,9 @@ impl Cache {
                 last_use.insert(id, *tick);
                 order.insert((*tick, id));
             }
+            // Popularity tracking happens in `note_request`; eviction is
+            // uniform, so a touch carries no recency information.
+            PolicyState::PopRandom { .. } => {}
             PolicyState::None => {}
         }
     }
@@ -224,16 +338,28 @@ impl Cache {
     ///
     /// The insertion is refused (empty return, nothing cached) when the
     /// policy is [`CachePolicyKind::None`], the file alone exceeds the
-    /// budget, or it is already cached (which just refreshes it).
+    /// budget, the popularity-random admission coin says no, or it is
+    /// already cached (which just refreshes it).
     pub fn insert(&mut self, id: FileId, size: u64, budget: u64) -> Vec<FileId> {
         if matches!(self.policy, PolicyState::None) {
             return Vec::new();
         }
-        if self.entries.contains_key(&id) {
-            self.touch(id, size);
+        self.note_request(id);
+        if let Some(stored) = self.entries.get(&id).copied() {
+            // Refresh from the *stored* size: a caller-supplied size that
+            // disagreed would desynchronize the GDS weight from the byte
+            // accounting in `entries`/`used`.
+            debug_assert_eq!(
+                stored, size,
+                "cached size for re-inserted id drifted from the caller's"
+            );
+            self.touch(id, stored);
             return Vec::new();
         }
         if size > budget {
+            return Vec::new();
+        }
+        if !self.admit(id) {
             return Vec::new();
         }
         let mut evicted = Vec::new();
@@ -246,8 +372,12 @@ impl Cache {
         debug_assert!(self.used + size <= budget);
         self.entries.insert(id, size);
         self.used += size;
+        if let PolicyState::PopRandom { slots, pos, .. } = &mut self.policy {
+            pos.insert(id, slots.len() as u32);
+            slots.push(id);
+        }
         self.insertions += 1;
-        past_obs::counter(self.metric_name("insert"), 1);
+        past_obs::counter(self.metric_name(CacheEvent::Insert), 1);
         self.touch(id, size);
         evicted
     }
@@ -283,6 +413,15 @@ impl Cache {
                             order.remove(&(t, id));
                         }
                     }
+                    PolicyState::PopRandom { slots, pos, .. } => {
+                        if let Some(i) = pos.remove(&id) {
+                            let i = i as usize;
+                            slots.swap_remove(i);
+                            if let Some(moved) = slots.get(i).copied() {
+                                pos.insert(moved, i as u32);
+                            }
+                        }
+                    }
                     PolicyState::None => {}
                 }
                 true
@@ -314,6 +453,20 @@ impl Cache {
                 last_use.remove(&id);
                 id
             }
+            PolicyState::PopRandom {
+                rng, slots, pos, ..
+            } => {
+                if slots.is_empty() {
+                    return None;
+                }
+                let i = (splitmix64(rng) % slots.len() as u64) as usize;
+                let id = slots.swap_remove(i);
+                pos.remove(&id);
+                if let Some(moved) = slots.get(i).copied() {
+                    pos.insert(moved, i as u32);
+                }
+                id
+            }
             PolicyState::None => return None,
         };
         let size = self
@@ -322,7 +475,7 @@ impl Cache {
             .expect("policy and entries in sync");
         self.used -= size;
         self.evictions += 1;
-        past_obs::counter(self.metric_name("evict"), 1);
+        past_obs::counter(self.metric_name(CacheEvent::Evict), 1);
         Some(victim)
     }
 }
@@ -342,6 +495,12 @@ mod tests {
         let mut bytes = [0u8; 20];
         bytes[..4].copy_from_slice(&v.to_be_bytes());
         FileId::from_bytes(bytes)
+    }
+
+    /// Deterministic per-id size, so re-inserts of the same id always
+    /// agree with the stored size (the refresh path asserts this).
+    fn sized(id: u8) -> u64 {
+        (id as u64 * 37) % 977 + 1
     }
 
     #[test]
@@ -421,6 +580,23 @@ mod tests {
     }
 
     #[test]
+    fn gds_refresh_uses_stored_size() {
+        // A refresh must key the GDS weight off the stored size: the
+        // ordering between a refreshed large file and a small file has
+        // to stay benefit-correct afterwards.
+        let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+        c.insert(fid(1), 900, 1000); // benefit 1/900
+        c.insert(fid(2), 50, 1000); // benefit 1/50
+        c.insert(fid(1), 900, 1000); // refresh (same size by contract)
+        let evicted = c.insert(fid(3), 100, 1000);
+        assert_eq!(
+            evicted,
+            vec![fid(1)],
+            "refreshed big file still the GD-S victim"
+        );
+    }
+
+    #[test]
     fn shrink_to_evicts_until_budget() {
         let mut c = Cache::new(CachePolicyKind::Lru);
         for i in 0..5 {
@@ -454,16 +630,97 @@ mod tests {
         assert_eq!(c.probe(fid(1)), Some(0));
     }
 
+    #[test]
+    fn metric_names_unique_and_exhaustive() {
+        // Every (policy, event) pair maps to its own counter; the old
+        // `store.cache.other` catch-all must be gone.
+        let mut names = std::collections::BTreeSet::new();
+        for kind in CachePolicyKind::ALL {
+            let c = Cache::new(kind);
+            for event in CacheEvent::ALL {
+                let name = c.metric_name(event);
+                assert!(name.starts_with("store.cache."), "{name}");
+                assert_ne!(name, "store.cache.other");
+                assert!(names.insert(name), "duplicate metric name: {name}");
+            }
+        }
+        assert_eq!(names.len(), CachePolicyKind::ALL.len() * CacheEvent::ALL.len());
+    }
+
+    #[test]
+    fn poprand_admission_warms_with_popularity() {
+        // A file offered over and over gets admitted within a few tries
+        // (p ≥ 1/5 per offer, rising), while the budget invariant holds.
+        let mut c = Cache::new(CachePolicyKind::PopularityRandom);
+        let mut admitted_after = None;
+        for attempt in 1..=64 {
+            c.insert(fid(7), 100, 1000);
+            if c.contains(fid(7)) {
+                admitted_after = Some(attempt);
+                break;
+            }
+        }
+        let attempts = admitted_after.expect("popular file never admitted");
+        assert!(attempts <= 64);
+        assert_eq!(c.used(), 100);
+        // Once resident, repeated offers refresh rather than duplicate.
+        c.insert(fid(7), 100, 1000);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn poprand_is_deterministic() {
+        let run = || {
+            let mut c = Cache::new(CachePolicyKind::PopularityRandom);
+            let mut log = Vec::new();
+            for i in 0..200u32 {
+                let id = fid(i % 23);
+                let ev = c.insert(id, 50, 300);
+                log.push((id, c.contains(id), ev));
+                c.probe(fid((i * 7) % 23));
+            }
+            (log, c.stats())
+        };
+        assert_eq!(run(), run(), "fixed-seed policy must replay identically");
+    }
+
+    #[test]
+    fn poprand_evicts_to_fit() {
+        let mut c = Cache::new(CachePolicyKind::PopularityRandom);
+        // Warm the files up so admission is near-certain.
+        for _ in 0..20 {
+            for i in 0..6u32 {
+                c.probe(fid(i));
+            }
+        }
+        for i in 0..6u32 {
+            for _ in 0..16 {
+                c.insert(fid(i), 100, 300);
+                if c.contains(fid(i)) {
+                    break;
+                }
+            }
+        }
+        assert!(c.used() <= 300);
+        assert!(c.len() <= 3);
+        assert!(c.stats().3 > 0, "evictions must have occurred");
+    }
+
     proptest! {
         #[test]
-        fn prop_used_equals_sum_of_entries(ops: Vec<(u8, u8, u16)>) {
-            for kind in [CachePolicyKind::GreedyDualSize, CachePolicyKind::Lru] {
+        fn prop_used_equals_sum_of_entries(ops: Vec<(u8, u8)>) {
+            for kind in [
+                CachePolicyKind::GreedyDualSize,
+                CachePolicyKind::Lru,
+                CachePolicyKind::PopularityRandom,
+            ] {
                 let mut c = Cache::new(kind);
-                for (op, id, size) in &ops {
-                    match op % 4 {
-                        0 | 1 => { c.insert(fid(*id as u32), *size as u64, 4096); }
+                for (op, id) in &ops {
+                    match op % 5 {
+                        0 | 1 => { c.insert(fid(*id as u32), sized(*id), 4096); }
                         2 => { c.probe(fid(*id as u32)); }
-                        _ => { c.remove(fid(*id as u32)); }
+                        3 => { c.remove(fid(*id as u32)); }
+                        _ => { c.shrink_to(sized(*id) * 2); }
                     }
                     let sum: u64 = c.entries.values().sum();
                     prop_assert_eq!(c.used(), sum);
@@ -478,6 +735,82 @@ mod tests {
             for (i, s) in sizes.iter().enumerate() {
                 c.insert(fid(i as u32), *s as u64, budget);
                 prop_assert!(c.used() <= budget);
+            }
+        }
+
+        #[test]
+        fn prop_gds_inflation_monotone(ops: Vec<(u8, u8)>) {
+            // The GreedyDual L value only ever rises (to the evicted
+            // victim's weight) — it is the aging clock of the policy.
+            let mut c = Cache::new(CachePolicyKind::GreedyDualSize);
+            let read_l = |c: &Cache| match &c.policy {
+                PolicyState::Gds { inflation, .. } => *inflation,
+                _ => unreachable!(),
+            };
+            let mut last = read_l(&c);
+            for (op, id) in &ops {
+                match op % 5 {
+                    0 | 1 => { c.insert(fid(*id as u32), sized(*id), 2048); }
+                    2 => { c.probe(fid(*id as u32)); }
+                    3 => { c.remove(fid(*id as u32)); }
+                    _ => { c.shrink_to(sized(*id)); }
+                }
+                let now = read_l(&c);
+                prop_assert!(now >= last, "L fell from {} to {}", last, now);
+                last = now;
+            }
+        }
+
+        #[test]
+        fn prop_lru_evicts_in_strict_recency_order(ops: Vec<(u8, u8)>) {
+            // Model: a recency queue (front = least recent). Every
+            // eviction batch the cache reports must equal the model's
+            // least-recent entries, in order.
+            let mut c = Cache::new(CachePolicyKind::Lru);
+            let mut model: Vec<(FileId, u64)> = Vec::new();
+            const BUDGET: u64 = 2048;
+            for (op, id) in &ops {
+                let id32 = fid(*id as u32);
+                let size = sized(*id);
+                match op % 4 {
+                    0 | 1 => {
+                        let evicted = c.insert(id32, size, BUDGET);
+                        if let Some(i) = model.iter().position(|(f, _)| *f == id32) {
+                            // Refresh: most recent now; nothing evicted.
+                            let e = model.remove(i);
+                            model.push(e);
+                            prop_assert!(evicted.is_empty());
+                        } else if size <= BUDGET {
+                            let mut used: u64 = model.iter().map(|(_, s)| s).sum();
+                            let mut expect = Vec::new();
+                            while used + size > BUDGET {
+                                let (f, s) = model.remove(0);
+                                expect.push(f);
+                                used -= s;
+                            }
+                            model.push((id32, size));
+                            prop_assert_eq!(&evicted, &expect,
+                                "LRU evicted out of recency order");
+                        } else {
+                            prop_assert!(evicted.is_empty());
+                        }
+                    }
+                    2 => {
+                        if c.probe(id32).is_some() {
+                            let i = model.iter().position(|(f, _)| *f == id32).unwrap();
+                            let e = model.remove(i);
+                            model.push(e);
+                        }
+                    }
+                    _ => {
+                        c.remove(id32);
+                        model.retain(|(f, _)| *f != id32);
+                    }
+                }
+                for (f, _) in &model {
+                    prop_assert!(c.contains(*f), "model and cache contents diverged");
+                }
+                prop_assert_eq!(c.len(), model.len());
             }
         }
     }

@@ -14,5 +14,5 @@
 mod cache;
 mod store;
 
-pub use cache::{Cache, CachePolicyKind};
+pub use cache::{Cache, CacheEvent, CachePolicyKind};
 pub use store::{NodeStore, ReplicaRef, Resolution, StoreError, StorePolicy, StoredReplica};

@@ -21,4 +21,4 @@ pub use dist::{
     standard_normal, truncated_pareto_mean, LogNormal, Pareto, SizeModel, TruncatedNormal, Zipf,
 };
 pub use stream::{OpStream, SizeTable, StreamTrace, Workload};
-pub use trace::{FileSpec, FsTraceConfig, Trace, TraceOp, WebTraceConfig};
+pub use trace::{FileSpec, FlashCrowdConfig, FsTraceConfig, Trace, TraceOp, WebTraceConfig};

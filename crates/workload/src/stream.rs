@@ -18,7 +18,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::dist::{SizeModel, Zipf};
-use crate::trace::{FsTraceConfig, Trace, TraceOp, WebTraceConfig};
+use crate::trace::{FlashCrowdConfig, FsTraceConfig, Trace, TraceOp, WebTraceConfig};
 
 /// Packed per-file size table: 4 bytes per file, with a sorted spill
 /// list for the (practically nonexistent) sizes above `u32::MAX` — the
@@ -99,6 +99,23 @@ enum StreamKind {
     },
     /// Filesystem snapshot: insert-only, uniform client per file.
     Fs,
+    /// Flash crowd: web-style replay whose popularity flips mid-run
+    /// (see [`FlashCrowdConfig`]).
+    FlashCrowd {
+        /// Affinity cluster of each file (clusters ≤ 256 by assertion).
+        file_cluster: Vec<u8>,
+        zipf_before: Zipf,
+        zipf_after: Zipf,
+        cluster_affinity: f64,
+        /// Request index of the popularity flip.
+        flip_index: usize,
+        /// First hot file index.
+        hot_lo: usize,
+        /// Hot set size.
+        hot_n: usize,
+        /// Post-flip re-reference share of the hot set.
+        hot_fraction: f64,
+    },
 }
 
 /// A lazily replayed workload: per-file tables plus the RNG state from
@@ -226,6 +243,55 @@ impl Iterator for OpStream<'_> {
                 file: r as u32,
                 is_insert: true,
             }),
+            StreamKind::FlashCrowd {
+                file_cluster,
+                zipf_before,
+                zipf_after,
+                cluster_affinity,
+                flip_index,
+                hot_lo,
+                hot_n,
+                hot_fraction,
+            } => {
+                let unique = t.sizes.len();
+                // Identical draw sequence to FlashCrowdConfig::generate.
+                let target =
+                    ((r + 1) as f64 * unique as f64 / t.requests as f64).ceil() as usize;
+                let (file_idx, is_insert) = if self.introduced < target && self.introduced < unique
+                {
+                    self.introduced += 1;
+                    (self.introduced - 1, true)
+                } else if r >= *flip_index
+                    && *hot_n > 0
+                    && self.rng.gen::<f64>() < *hot_fraction
+                {
+                    (hot_lo + self.rng.gen_range(0..*hot_n), false)
+                } else {
+                    let zipf = if r >= *flip_index {
+                        zipf_after
+                    } else {
+                        zipf_before
+                    };
+                    let mut rank = zipf.sample(&mut self.rng);
+                    while rank > self.introduced {
+                        rank = zipf.sample(&mut self.rng);
+                    }
+                    (rank - 1, false)
+                };
+                let cluster = if self.rng.gen::<f64>() < *cluster_affinity {
+                    file_cluster[file_idx] as u32
+                } else {
+                    self.rng.gen_range(0..t.clusters)
+                };
+                let per_cluster = t.clients.div_ceil(t.clusters);
+                let member = self.rng.gen_range(0..per_cluster);
+                let client = (member * t.clusters + cluster).min(t.clients - 1);
+                Some(TraceOp {
+                    client,
+                    file: file_idx as u32,
+                    is_insert,
+                })
+            }
         }
     }
 
@@ -283,6 +349,78 @@ impl WebTraceConfig {
                 file_cluster,
                 zipf,
                 cluster_affinity: self.cluster_affinity,
+            },
+            sizes,
+            clients: self.clients,
+            clusters: self.clusters,
+            client_cluster,
+            requests: self.requests,
+            op_rng: rng,
+        }
+    }
+}
+
+impl FlashCrowdConfig {
+    /// Builds the streaming equivalent of [`FlashCrowdConfig::generate`]:
+    /// same seed, same draws, same op sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same invalid configs as `generate`, plus when
+    /// `clusters > 256` (the packed affinity table stores one byte per
+    /// file).
+    pub fn stream(&self) -> StreamTrace {
+        assert!(self.unique_files >= 1);
+        assert!(self.requests >= self.unique_files);
+        assert!(self.clients >= 1 && self.clusters >= 1);
+        assert!((0.0..=1.0).contains(&self.flip_at), "flip_at in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.hot_fraction),
+            "hot_fraction in [0, 1]"
+        );
+        assert!(
+            self.clusters <= 256,
+            "streaming flash-crowd trace packs clusters into one byte"
+        );
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let size_dist = SizeModel::calibrated(
+            self.median_size,
+            self.mean_size,
+            self.max_size,
+            self.tail_prob,
+            self.tail_x_m,
+            self.tail_alpha,
+        );
+        let mut sizes = SizeTable::with_capacity(self.unique_files);
+        for _ in 0..self.unique_files {
+            let size = if rng.gen::<f64>() < self.zero_fraction {
+                0
+            } else {
+                size_dist.sample(&mut rng).round() as u64
+            };
+            sizes.push(size);
+        }
+        let client_cluster: Vec<u32> = (0..self.clients).map(|c| c % self.clusters).collect();
+        let file_cluster: Vec<u8> = (0..self.unique_files)
+            .map(|_| rng.gen_range(0..self.clusters) as u8)
+            .collect();
+        let zipf_before = Zipf::new(self.unique_files, self.zipf_alpha_before);
+        let zipf_after = if self.zipf_alpha_after == self.zipf_alpha_before {
+            zipf_before.clone()
+        } else {
+            Zipf::new(self.unique_files, self.zipf_alpha_after)
+        };
+        let (hot_lo, hot_n) = self.hot_range();
+        StreamTrace {
+            kind: StreamKind::FlashCrowd {
+                file_cluster,
+                zipf_before,
+                zipf_after,
+                cluster_affinity: self.cluster_affinity,
+                flip_index: self.flip_index(),
+                hot_lo,
+                hot_n,
+                hot_fraction: self.hot_fraction,
             },
             sizes,
             clients: self.clients,
@@ -431,6 +569,40 @@ mod tests {
         assert_eq!(stream.total_bytes(), trace.total_bytes());
         let streamed: Vec<TraceOp> = stream.ops().collect();
         assert_eq!(streamed, trace.ops);
+    }
+
+    #[test]
+    fn flash_crowd_stream_matches_generate() {
+        let cfg = FlashCrowdConfig {
+            unique_files: 1_500,
+            requests: 10_500,
+            ..Default::default()
+        };
+        let trace = cfg.generate();
+        let stream = cfg.stream();
+        assert_eq!(stream.unique_files(), trace.unique_files());
+        assert_eq!(stream.total_bytes(), trace.total_bytes());
+        for (i, f) in trace.files.iter().enumerate() {
+            assert_eq!(stream.file_size(i as u32), f.size, "size of file {i}");
+        }
+        let streamed: Vec<TraceOp> = stream.ops().collect();
+        assert_eq!(streamed, trace.ops);
+    }
+
+    #[test]
+    fn flash_crowd_stream_with_distinct_skews_matches_generate() {
+        let cfg = FlashCrowdConfig {
+            unique_files: 1_000,
+            requests: 7_000,
+            zipf_alpha_before: 0.7,
+            zipf_alpha_after: 1.1,
+            flip_at: 0.3,
+            hot_set: 2,
+            hot_fraction: 0.25,
+            ..Default::default()
+        };
+        let streamed: Vec<TraceOp> = cfg.stream().ops().collect();
+        assert_eq!(streamed, cfg.generate().ops);
     }
 
     #[test]

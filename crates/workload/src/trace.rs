@@ -256,6 +256,210 @@ impl WebTraceConfig {
     }
 }
 
+/// Generator for a flash-crowd workload: a web-like request stream
+/// whose popularity distribution *flips* mid-run. Up to the flip point
+/// requests follow Zipf(`zipf_alpha_before`) by introduction order (the
+/// familiar NLANR shape); from the flip onward, a small set of
+/// previously *cold* files — the most recently introduced ones at flip
+/// time — suddenly attracts `hot_fraction` of all re-references
+/// (uniformly spread across the set), with the remainder drawn from
+/// Zipf(`zipf_alpha_after`). With the default 4-file hot set at 50%,
+/// each hot file takes ~12.5% of post-flip lookups: well past the >10%
+/// single-file threshold that defines a flash crowd here.
+///
+/// Sizes, clusters, and client assignment follow [`WebTraceConfig`]
+/// exactly, so results compare directly against the §5.2 caching setup.
+#[derive(Clone, Debug)]
+pub struct FlashCrowdConfig {
+    /// Number of unique files.
+    pub unique_files: usize,
+    /// Total requests. Flash-crowd runs are lookup-heavy: the default
+    /// keeps 7 requests per unique file.
+    pub requests: usize,
+    /// Zipf exponent before the flip.
+    pub zipf_alpha_before: f64,
+    /// Zipf exponent after the flip (for the non-hot remainder).
+    pub zipf_alpha_after: f64,
+    /// Flip point as a fraction of the request stream, in `[0, 1]`.
+    pub flip_at: f64,
+    /// Number of cold files that go hot at the flip (the most recently
+    /// introduced files at that moment).
+    pub hot_set: usize,
+    /// Fraction of post-flip re-references that target the hot set.
+    pub hot_fraction: f64,
+    /// Number of clients.
+    pub clients: u32,
+    /// Number of client clusters.
+    pub clusters: u32,
+    /// Probability a request comes from the file's affinity cluster.
+    pub cluster_affinity: f64,
+    /// Median file size in bytes.
+    pub median_size: f64,
+    /// Mean file size in bytes.
+    pub mean_size: f64,
+    /// Maximum file size in bytes.
+    pub max_size: f64,
+    /// Probability a file's size comes from the Pareto tail.
+    pub tail_prob: f64,
+    /// Pareto tail scale in bytes.
+    pub tail_x_m: f64,
+    /// Pareto tail shape.
+    pub tail_alpha: f64,
+    /// Fraction of zero-byte files.
+    pub zero_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FlashCrowdConfig {
+    fn default() -> Self {
+        FlashCrowdConfig {
+            unique_files: 20_000,
+            requests: 140_000,
+            zipf_alpha_before: 0.8,
+            zipf_alpha_after: 0.8,
+            flip_at: 0.5,
+            hot_set: 4,
+            hot_fraction: 0.5,
+            clients: 775,
+            clusters: 8,
+            cluster_affinity: 0.5,
+            median_size: 1_312.0,
+            mean_size: 10_517.0,
+            max_size: 138.0e6,
+            tail_prob: 0.005,
+            tail_x_m: 100.0e3,
+            tail_alpha: 0.85,
+            zero_fraction: 0.001,
+            seed: 0xfc01,
+        }
+    }
+}
+
+impl FlashCrowdConfig {
+    /// Keeps the requests/unique ratio while changing the scale.
+    pub fn with_unique_files(mut self, n: usize) -> Self {
+        let ratio = self.requests as f64 / self.unique_files as f64;
+        self.unique_files = n;
+        self.requests = (n as f64 * ratio).round() as usize;
+        self
+    }
+
+    /// The 0-based request index at which popularity flips.
+    pub fn flip_index(&self) -> usize {
+        ((self.flip_at * self.requests as f64).floor() as usize).min(self.requests)
+    }
+
+    /// The hot file range `[lo, lo + n)`: the `hot_set` most recently
+    /// introduced files at the flip point (guaranteed cold before the
+    /// flip under Zipf-by-introduction-order popularity).
+    pub fn hot_range(&self) -> (usize, usize) {
+        let flip = self.flip_index();
+        // Introduced count after the first `flip` requests: the uniform
+        // introduction schedule has introduced exactly
+        // ceil(flip * unique / requests) files by then.
+        let introduced =
+            ((flip * self.unique_files).div_ceil(self.requests)).min(self.unique_files);
+        let n = self.hot_set.min(introduced);
+        (introduced - n, n)
+    }
+
+    fn check(&self) {
+        assert!(self.unique_files >= 1);
+        assert!(self.requests >= self.unique_files);
+        assert!(self.clients >= 1 && self.clusters >= 1);
+        assert!((0.0..=1.0).contains(&self.flip_at), "flip_at in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&self.hot_fraction),
+            "hot_fraction in [0, 1]"
+        );
+    }
+
+    /// Generates the trace. Identical construction to
+    /// [`WebTraceConfig::generate`] up to the per-request popularity
+    /// draw, which switches distributions at [`FlashCrowdConfig::flip_index`].
+    pub fn generate(&self) -> Trace {
+        self.check();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let size_dist = SizeModel::calibrated(
+            self.median_size,
+            self.mean_size,
+            self.max_size,
+            self.tail_prob,
+            self.tail_x_m,
+            self.tail_alpha,
+        );
+        let files: Vec<FileSpec> = (0..self.unique_files)
+            .map(|i| {
+                let size = if rng.gen::<f64>() < self.zero_fraction {
+                    0
+                } else {
+                    size_dist.sample(&mut rng).round() as u64
+                };
+                FileSpec {
+                    index: i as u32,
+                    size,
+                }
+            })
+            .collect();
+        let client_cluster: Vec<u32> = (0..self.clients).map(|c| c % self.clusters).collect();
+        let file_cluster: Vec<u32> = (0..self.unique_files)
+            .map(|_| rng.gen_range(0..self.clusters))
+            .collect();
+        let zipf_before = Zipf::new(self.unique_files, self.zipf_alpha_before);
+        let zipf_after = if self.zipf_alpha_after == self.zipf_alpha_before {
+            zipf_before.clone()
+        } else {
+            Zipf::new(self.unique_files, self.zipf_alpha_after)
+        };
+        let flip = self.flip_index();
+        let (hot_lo, hot_n) = self.hot_range();
+        let mut ops = Vec::with_capacity(self.requests);
+        let mut introduced = 0usize;
+        for r in 0..self.requests {
+            let target = ((r + 1) as f64 * self.unique_files as f64 / self.requests as f64)
+                .ceil() as usize;
+            let (file_idx, is_insert) = if introduced < target && introduced < self.unique_files {
+                introduced += 1;
+                (introduced - 1, true)
+            } else if r >= flip && hot_n > 0 && rng.gen::<f64>() < self.hot_fraction {
+                // The flash crowd: a uniformly chosen member of the hot
+                // set (already introduced — the set sits right below the
+                // introduction frontier at flip time).
+                (hot_lo + rng.gen_range(0..hot_n), false)
+            } else {
+                let zipf = if r >= flip { &zipf_after } else { &zipf_before };
+                let mut rank = zipf.sample(&mut rng);
+                while rank > introduced {
+                    rank = zipf.sample(&mut rng);
+                }
+                (rank - 1, false)
+            };
+            let cluster = if rng.gen::<f64>() < self.cluster_affinity {
+                file_cluster[file_idx]
+            } else {
+                rng.gen_range(0..self.clusters)
+            };
+            let per_cluster = self.clients.div_ceil(self.clusters);
+            let member = rng.gen_range(0..per_cluster);
+            let client = (member * self.clusters + cluster).min(self.clients - 1);
+            ops.push(TraceOp {
+                client,
+                file: file_idx as u32,
+                is_insert,
+            });
+        }
+        debug_assert_eq!(introduced, self.unique_files);
+        Trace {
+            files,
+            ops,
+            clients: self.clients,
+            clusters: self.clusters,
+            client_cluster,
+        }
+    }
+}
+
 /// Generator for the filesystem workload: insert-only, heavier-tailed
 /// sizes (paper: 2,027,908 files, 166.6 GB, mean 88,233 B, median
 /// 4,578 B, max 2.7 GB).
@@ -433,6 +637,83 @@ mod tests {
         let cfg = WebTraceConfig::default().with_unique_files(10_000);
         let ratio = cfg.requests as f64 / cfg.unique_files as f64;
         assert!((ratio - 2.147).abs() < 0.01);
+    }
+
+    #[test]
+    fn flash_crowd_introduces_every_file_exactly_once() {
+        let t = FlashCrowdConfig {
+            unique_files: 1_500,
+            requests: 10_500,
+            ..Default::default()
+        }
+        .generate();
+        let mut inserted = HashSet::new();
+        let mut seen = HashSet::new();
+        for op in &t.ops {
+            if op.is_insert {
+                assert!(inserted.insert(op.file), "duplicate insert of {}", op.file);
+            } else {
+                assert!(seen.contains(&op.file), "lookup before insert");
+            }
+            seen.insert(op.file);
+        }
+        assert_eq!(inserted.len(), t.unique_files());
+    }
+
+    #[test]
+    fn flash_crowd_flips_popularity() {
+        let cfg = FlashCrowdConfig {
+            unique_files: 2_000,
+            requests: 14_000,
+            ..Default::default()
+        };
+        let t = cfg.generate();
+        let flip = cfg.flip_index();
+        let (hot_lo, hot_n) = cfg.hot_range();
+        assert_eq!(hot_n, cfg.hot_set);
+        let hot = |f: u32| (f as usize) >= hot_lo && (f as usize) < hot_lo + hot_n;
+        let pre: Vec<&TraceOp> = t.ops[..flip].iter().filter(|o| !o.is_insert).collect();
+        let post: Vec<&TraceOp> = t.ops[flip..].iter().filter(|o| !o.is_insert).collect();
+        let pre_hot = pre.iter().filter(|o| hot(o.file)).count();
+        let post_hot = post.iter().filter(|o| hot(o.file)).count();
+        // Cold before the flip (the hot files sit right below the
+        // introduction frontier, deep in the Zipf tail)...
+        assert!(
+            (pre_hot as f64) < 0.01 * pre.len() as f64,
+            "hot set already popular before the flip: {pre_hot}/{}",
+            pre.len()
+        );
+        // ...and the crowd afterwards: the set takes ~hot_fraction of
+        // lookups, and a *single* cold file exceeds the 10% flash-crowd
+        // threshold.
+        assert!(
+            post_hot as f64 > 0.8 * cfg.hot_fraction * post.len() as f64,
+            "hot set too cold after the flip: {post_hot}/{}",
+            post.len()
+        );
+        let mut per_file = vec![0usize; cfg.unique_files];
+        for o in &post {
+            per_file[o.file as usize] += 1;
+        }
+        let top_hot = (hot_lo..hot_lo + hot_n).map(|i| per_file[i]).max().unwrap();
+        assert!(
+            top_hot as f64 > 0.10 * post.len() as f64,
+            "top hot file only {top_hot}/{} post-flip lookups",
+            post.len()
+        );
+    }
+
+    #[test]
+    fn flash_crowd_deterministic() {
+        let cfg = FlashCrowdConfig {
+            unique_files: 800,
+            requests: 5_600,
+            ..Default::default()
+        };
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.ops, b.ops);
+        assert_eq!(a.files, b.files);
     }
 
     #[test]

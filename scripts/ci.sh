@@ -151,4 +151,53 @@ print(f"byzantine smoke OK: corrupted {off['corrupted_lookups']} -> 0, "
       f"{on['shunned']} shun entries")
 PY
 
+echo "== flash-crowd smoke (policies x flip, windowed series, engine equality)"
+# The flash-crowd serving contract: the smoke sweep must be
+# deterministic run-to-run (byte-identical JSON), GDS must absorb a
+# nonzero share of the post-flip load and keep its hot node's served
+# peak strictly below the no-cache row, and a default-knob run (no
+# obs_window, no new policy) must produce identical counters on the
+# legacy engine (twice) and the sharded engine at 1 and 2 shards.
+PAST_FC_SMOKE=1 PAST_OUT_DIR="$perf_out/fc1" \
+  cargo run --release -q -p past-bench --bin flash_crowd --offline
+PAST_FC_SMOKE=1 PAST_OUT_DIR="$perf_out/fc2" \
+  cargo run --release -q -p past-bench --bin flash_crowd --offline
+cmp "$perf_out/fc1/BENCH_flashcrowd.json" "$perf_out/fc2/BENCH_flashcrowd.json" \
+  || { echo "error: flash_crowd smoke JSON not deterministic across runs" >&2; exit 1; }
+python3 - "$perf_out/fc1/BENCH_flashcrowd.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+cells = {c["policy"]: c for c in report["frontier"]["cells"]}
+assert {"gds", "lru", "poprand", "none"} <= set(cells), f"missing policies: {set(cells)}"
+gds, none = cells["gds"], cells["none"]
+assert gds["absorbed_post_flip"] > 0, "GDS absorbed no post-flip load"
+assert gds["hot_node_peak_post_flip"] < none["hot_node_peak_post_flip"], (
+    f"GDS hot-node peak {gds['hot_node_peak_post_flip']} not below "
+    f"no-cache {none['hot_node_peak_post_flip']}"
+)
+assert none["hit_rate"] == 0, "no-cache run reported cache hits"
+for c in cells.values():
+    assert c["windows"], f"{c['policy']}: no windowed series"
+    assert sum(w[1] for w in c["windows"]) == c["lookups_ok"], (
+        f"{c['policy']}: windowed completions disagree with the lookup counter"
+    )
+runs = report["baseline"]["runs"]
+assert report["baseline"]["all_equal"], "engine-equality baseline diverged"
+by_mode = {}
+for r in runs:
+    key = {k: v for k, v in r.items() if k not in ("engine", "shards", "mode")}
+    by_mode.setdefault(r["mode"], []).append((r["engine"], key))
+assert set(by_mode) == {"per_op", "pipelined"}, f"unexpected modes: {set(by_mode)}"
+for mode, group in by_mode.items():
+    first_engine, first = group[0]
+    for engine, got in group[1:]:
+        assert got == first, (
+            f"{mode}: {engine} counters diverge from {first_engine}"
+        )
+assert report["gates"]["gds_absorbs"], report["gates"]
+print(f"flash-crowd smoke OK: gds absorbed {gds['absorbed_post_flip']}, "
+      f"hot peak {gds['hot_node_peak_post_flip']} vs {none['hot_node_peak_post_flip']} (no cache), "
+      f"{len(runs)} engine runs bit-identical")
+PY
+
 echo "CI OK"
